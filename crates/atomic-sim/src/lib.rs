@@ -1,0 +1,287 @@
+//! A Gem5-`AtomicSimpleCPU`-like simulator.
+//!
+//! The paper's Table VI cross-checks the dummy-function estimate on "Gem-5
+//! simulator with AtomicSimpleCPU at system call emulation (SE) mode"
+//! targeting the RISC-V ISA. `AtomicSimpleCPU` executes one instruction per
+//! CPU tick and folds memory time into fixed atomic-access latencies — no
+//! pipeline, no caches. This crate reproduces that model on top of the
+//! shared functional executor: every instruction costs one cycle plus a
+//! fixed latency per data-memory access, and results are reported as
+//! simulated seconds at a configurable clock.
+//!
+//! # Example
+//!
+//! ```
+//! use atomic_sim::{AtomicSim, AtomicConfig};
+//! use riscv_isa::{Instr, Reg};
+//! use riscv_isa::instr::OpImmOp;
+//!
+//! # fn main() -> Result<(), riscv_sim::CpuError> {
+//! let mut sim = AtomicSim::new(AtomicConfig::default());
+//! let prog = [
+//!     Instr::OpImm { op: OpImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 0 },
+//!     Instr::OpImm { op: OpImmOp::Addi, rd: Reg::A7, rs1: Reg::ZERO, imm: 93 },
+//!     Instr::Ecall,
+//! ];
+//! for (i, instr) in prog.iter().enumerate() {
+//!     sim.cpu.memory.write_u32(0x1000 + 4 * i as u64, instr.encode().unwrap())?;
+//! }
+//! sim.cpu.set_pc(0x1000);
+//! let report = sim.run(100)?;
+//! assert!(report.simulated_seconds > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use riscv_isa::Instr;
+use riscv_sim::{Coprocessor, CpuError, Event, Marker};
+
+/// Atomic-CPU timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomicConfig {
+    /// Clock frequency in Hz (Gem5's default CPU clock is 1 GHz).
+    pub clock_hz: f64,
+    /// Extra cycles charged per data-memory access (atomic access latency).
+    pub mem_access_cycles: u64,
+    /// Extra cycles charged per multiply.
+    pub mul_cycles: u64,
+    /// Extra cycles charged per divide/remainder.
+    pub div_cycles: u64,
+}
+
+impl Default for AtomicConfig {
+    fn default() -> Self {
+        AtomicConfig {
+            clock_hz: 1.0e9,
+            mem_access_cycles: 1,
+            mul_cycles: 0,
+            div_cycles: 0,
+        }
+    }
+}
+
+/// Counters for one atomic-mode run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AtomicStats {
+    /// Ticks consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instret: u64,
+    /// Data-memory accesses.
+    pub mem_accesses: u64,
+}
+
+/// Result of a completed atomic-mode run.
+#[derive(Debug, Clone)]
+pub struct AtomicReport {
+    /// The guest's exit code.
+    pub exit_code: i64,
+    /// Counters.
+    pub stats: AtomicStats,
+    /// Simulated wall-clock time (`cycles / clock_hz`), the quantity the
+    /// paper's Table VI reports.
+    pub simulated_seconds: f64,
+    /// Markers recorded by the guest.
+    pub markers: Vec<Marker>,
+    /// Captured console output.
+    pub console: Vec<u8>,
+}
+
+/// The atomic CPU: the shared functional executor plus trivial fixed-cost
+/// timing.
+pub struct AtomicSim {
+    /// The wrapped functional core (public for program loading).
+    pub cpu: riscv_sim::Cpu,
+    config: AtomicConfig,
+    stats: AtomicStats,
+}
+
+impl std::fmt::Debug for AtomicSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicSim")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for AtomicSim {
+    fn default() -> Self {
+        AtomicSim::new(AtomicConfig::default())
+    }
+}
+
+impl AtomicSim {
+    /// Builds a simulator with the given timing parameters.
+    #[must_use]
+    pub fn new(config: AtomicConfig) -> Self {
+        AtomicSim {
+            cpu: riscv_sim::Cpu::new(),
+            config,
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// Attaches a RoCC accelerator (SE-mode co-simulation).
+    pub fn attach_coprocessor(&mut self, coprocessor: Box<dyn Coprocessor>) {
+        self.cpu.attach_coprocessor(coprocessor);
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> AtomicStats {
+        self.stats
+    }
+
+    /// Executes one instruction, charging one tick plus fixed latencies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-core faults.
+    pub fn step(&mut self) -> Result<Event, CpuError> {
+        self.cpu.cycle = self.stats.cycles;
+        let event = self.cpu.step()?;
+        self.stats.cycles += 1;
+        self.stats.instret += 1;
+        if let Event::Retired(retired) = &event {
+            if retired.mem_access.is_some() {
+                self.stats.cycles += self.config.mem_access_cycles;
+                self.stats.mem_accesses += 1;
+            }
+            match retired.instr {
+                Instr::Op { op, .. } if op.is_muldiv() => {
+                    self.stats.cycles += if matches!(
+                        op,
+                        riscv_isa::instr::OpOp::Mul
+                            | riscv_isa::instr::OpOp::Mulh
+                            | riscv_isa::instr::OpOp::Mulhsu
+                            | riscv_isa::instr::OpOp::Mulhu
+                    ) {
+                        self.config.mul_cycles
+                    } else {
+                        self.config.div_cycles
+                    };
+                }
+                Instr::Custom(_) => {
+                    if let Some(resp) = retired.rocc {
+                        self.stats.cycles += u64::from(resp.busy_cycles);
+                        self.stats.mem_accesses += u64::from(resp.mem_accesses);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(event)
+    }
+
+    /// Runs to exit or `max_instructions`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults, or [`CpuError::InstructionLimit`].
+    pub fn run(&mut self, max_instructions: u64) -> Result<AtomicReport, CpuError> {
+        for _ in 0..max_instructions {
+            if let Event::Exited { code } = self.step()? {
+                return Ok(AtomicReport {
+                    exit_code: code,
+                    stats: self.stats,
+                    simulated_seconds: self.stats.cycles as f64 / self.config.clock_hz,
+                    markers: self.cpu.markers.clone(),
+                    console: self.cpu.console.clone(),
+                });
+            }
+        }
+        Err(CpuError::InstructionLimit(max_instructions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::instr::{OpImmOp, OpOp};
+    use riscv_isa::Reg;
+
+    fn load(sim: &mut AtomicSim, prog: &[Instr]) {
+        for (i, instr) in prog.iter().enumerate() {
+            sim.cpu
+                .memory
+                .write_u32(0x1000 + 4 * i as u64, instr.encode().unwrap())
+                .unwrap();
+        }
+        sim.cpu.set_pc(0x1000);
+    }
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    #[test]
+    fn one_cycle_per_instruction() {
+        let mut sim = AtomicSim::default();
+        let mut prog = vec![Instr::NOP; 10];
+        prog.push(addi(Reg::A7, Reg::ZERO, 93));
+        prog.push(Instr::Ecall);
+        load(&mut sim, &prog);
+        let report = sim.run(100).unwrap();
+        assert_eq!(report.stats.instret, 12);
+        assert_eq!(report.stats.cycles, 12);
+        assert!((report.simulated_seconds - 12e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memory_access_costs_extra() {
+        let mut sim = AtomicSim::default();
+        sim.cpu.memory.write_u64(0x2000, 1).unwrap();
+        sim.cpu.set_reg(Reg::T0, 0x2000);
+        let prog = vec![
+            Instr::Load {
+                op: riscv_isa::instr::LoadOp::Ld,
+                rd: Reg::T1,
+                rs1: Reg::T0,
+                offset: 0,
+            },
+            addi(Reg::A7, Reg::ZERO, 93),
+            Instr::Ecall,
+        ];
+        load(&mut sim, &prog);
+        let report = sim.run(100).unwrap();
+        assert_eq!(report.stats.cycles, 4); // 3 instructions + 1 mem access
+        assert_eq!(report.stats.mem_accesses, 1);
+    }
+
+    #[test]
+    fn muldiv_latencies_configurable() {
+        let mut sim = AtomicSim::new(AtomicConfig {
+            mul_cycles: 3,
+            div_cycles: 30,
+            ..AtomicConfig::default()
+        });
+        let prog = vec![
+            Instr::Op {
+                op: OpOp::Mul,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            },
+            Instr::Op {
+                op: OpOp::Divu,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            },
+            addi(Reg::A7, Reg::ZERO, 93),
+            Instr::Ecall,
+        ];
+        sim.cpu.set_reg(Reg::T2, 1);
+        load(&mut sim, &prog);
+        let report = sim.run(100).unwrap();
+        assert_eq!(report.stats.cycles, 4 + 3 + 30);
+    }
+}

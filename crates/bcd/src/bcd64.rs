@@ -1,0 +1,437 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{is_valid_packed64, nines_complement64, raw_add64, Bcd128, BcdError, BCD64_DIGITS};
+
+/// Sixteen packed BCD-8421 digits in a `u64`.
+///
+/// This is the word the RoCC decimal accelerator exchanges with the Rocket
+/// core over `rs1`/`rs2`/`rd`: digit *i* lives in bits `4i..4i+4`, least
+/// significant digit at bit 0. All sixteen nibbles are guaranteed to be
+/// decimal digits (`0..=9`).
+///
+/// # Example
+///
+/// ```
+/// use bcd::Bcd64;
+///
+/// # fn main() -> Result<(), bcd::BcdError> {
+/// let x: Bcd64 = "902".parse()?;
+/// assert_eq!(x.raw(), 0x902);
+/// assert_eq!(x.digit(2), 9);
+/// assert_eq!(x.significant_digits(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bcd64(u64);
+
+impl Bcd64 {
+    /// The zero value.
+    pub const ZERO: Bcd64 = Bcd64(0);
+    /// The one value.
+    pub const ONE: Bcd64 = Bcd64(1);
+    /// The largest representable value, 9,999,999,999,999,999 (sixteen nines).
+    pub const MAX: Bcd64 = Bcd64(0x9999_9999_9999_9999);
+
+    /// Wraps a raw packed-BCD word, validating every nibble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcdError::InvalidNibble`] if any nibble is `0xA..=0xF`.
+    pub fn new(raw: u64) -> Result<Self, BcdError> {
+        if is_valid_packed64(raw) {
+            Ok(Bcd64(raw))
+        } else {
+            let position = (0..16)
+                .find(|&i| (raw >> (4 * i)) & 0xF > 9)
+                .expect("invalid word must contain an invalid nibble");
+            Err(BcdError::InvalidNibble {
+                position,
+                nibble: ((raw >> (4 * position)) & 0xF) as u8,
+            })
+        }
+    }
+
+    /// Wraps a raw packed-BCD word the caller already knows is valid.
+    ///
+    /// Invalid nibbles produce garbage results from subsequent arithmetic but
+    /// no undefined behaviour. Prefer [`Bcd64::new`].
+    #[must_use]
+    pub const fn from_raw_unchecked(raw: u64) -> Self {
+        Bcd64(raw)
+    }
+
+    /// Converts a binary integer (e.g. `1234`) to its BCD representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcdError::ValueTooLarge`] if `value >= 10^16`.
+    pub fn from_value(value: u64) -> Result<Self, BcdError> {
+        if value > 9_999_999_999_999_999 {
+            return Err(BcdError::ValueTooLarge {
+                capacity: BCD64_DIGITS,
+            });
+        }
+        let mut raw = 0u64;
+        let mut v = value;
+        let mut shift = 0;
+        while v != 0 {
+            raw |= (v % 10) << shift;
+            v /= 10;
+            shift += 4;
+        }
+        Ok(Bcd64(raw))
+    }
+
+    /// Builds a value from decimal digits given most-significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcdError::InvalidDigit`] for digits outside `0..=9` and
+    /// [`BcdError::ValueTooLarge`] for more than sixteen digits.
+    pub fn from_digits(digits: &[u8]) -> Result<Self, BcdError> {
+        if digits.len() > BCD64_DIGITS as usize {
+            return Err(BcdError::ValueTooLarge {
+                capacity: BCD64_DIGITS,
+            });
+        }
+        let mut raw = 0u64;
+        for &d in digits {
+            if d > 9 {
+                return Err(BcdError::InvalidDigit { digit: d });
+            }
+            raw = (raw << 4) | u64::from(d);
+        }
+        Ok(Bcd64(raw))
+    }
+
+    /// The raw packed representation (digit *i* in bits `4i..4i+4`).
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts back to a binary integer.
+    #[must_use]
+    pub fn to_value(self) -> u64 {
+        let mut v = 0u64;
+        for i in (0..16).rev() {
+            v = v * 10 + ((self.0 >> (4 * i)) & 0xF);
+        }
+        v
+    }
+
+    /// Returns digit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[must_use]
+    pub fn digit(self, i: u32) -> u8 {
+        assert!(i < BCD64_DIGITS, "digit index {i} out of range");
+        ((self.0 >> (4 * i)) & 0xF) as u8
+    }
+
+    /// Returns a copy with digit `i` replaced by `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcdError::InvalidDigit`] if `d > 9`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    pub fn with_digit(self, i: u32, d: u8) -> Result<Self, BcdError> {
+        assert!(i < BCD64_DIGITS, "digit index {i} out of range");
+        if d > 9 {
+            return Err(BcdError::InvalidDigit { digit: d });
+        }
+        let mask = 0xFu64 << (4 * i);
+        Ok(Bcd64((self.0 & !mask) | (u64::from(d) << (4 * i))))
+    }
+
+    /// Number of significant decimal digits (zero has zero).
+    #[must_use]
+    pub fn significant_digits(self) -> u32 {
+        if self.0 == 0 {
+            0
+        } else {
+            16 - self.0.leading_zeros() / 4
+        }
+    }
+
+    /// True if the value is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Decimal addition. Returns `(sum, carry_out)`.
+    #[must_use]
+    pub fn add(self, other: Bcd64) -> (Bcd64, bool) {
+        let (s, c) = raw_add64(self.0, other.0, false);
+        (Bcd64(s), c)
+    }
+
+    /// Decimal addition with carry-in. Returns `(sum, carry_out)`.
+    #[must_use]
+    pub fn adc(self, other: Bcd64, carry_in: bool) -> (Bcd64, bool) {
+        let (s, c) = raw_add64(self.0, other.0, carry_in);
+        (Bcd64(s), c)
+    }
+
+    /// Decimal subtraction via ten's complement. Returns `(difference, borrow)`.
+    ///
+    /// When `borrow` is true the result wrapped modulo 10^16.
+    #[must_use]
+    pub fn sub(self, other: Bcd64) -> (Bcd64, bool) {
+        let (s, carry) = raw_add64(self.0, nines_complement64(other.0), true);
+        (Bcd64(s), !carry)
+    }
+
+    /// Shifts left by `digits` decimal digits, filling with zeros.
+    /// Digits shifted past the top are lost.
+    #[must_use]
+    pub fn shl_digits(self, digits: u32) -> Bcd64 {
+        if digits >= BCD64_DIGITS {
+            Bcd64(0)
+        } else {
+            Bcd64(self.0 << (4 * digits))
+        }
+    }
+
+    /// Shifts right by `digits` decimal digits (discarding low digits).
+    #[must_use]
+    pub fn shr_digits(self, digits: u32) -> Bcd64 {
+        if digits >= BCD64_DIGITS {
+            Bcd64(0)
+        } else {
+            Bcd64(self.0 >> (4 * digits))
+        }
+    }
+
+    /// Multiplies by a single decimal digit, returning a wide result
+    /// (a 16-digit value times 9 needs up to 17 digits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > 9`.
+    #[must_use]
+    pub fn mul_digit(self, d: u8) -> Bcd128 {
+        assert!(d <= 9, "multiplier digit {d} out of range");
+        // Double-and-add keeps the model decimal end to end, mirroring how
+        // the accelerator's digit multiplier is built from BCD adders.
+        let wide = Bcd128::from_bcd64(self);
+        let mut acc = Bcd128::ZERO;
+        for bit in (0..4).rev() {
+            acc = acc.add(acc).0;
+            if d & (1 << bit) != 0 {
+                acc = acc.add(wide).0;
+            }
+        }
+        acc
+    }
+
+    /// Full 16×16-digit multiplication producing up to 32 digits.
+    #[must_use]
+    pub fn full_mul(self, other: Bcd64) -> Bcd128 {
+        let mut acc = Bcd128::ZERO;
+        for i in (0..other.significant_digits().max(1)).rev() {
+            acc = acc.shl_digits(1);
+            let d = other.digit(i);
+            if d != 0 {
+                let (sum, overflow) = acc.add(self.mul_digit(d));
+                debug_assert!(!overflow, "32-digit product cannot overflow");
+                acc = sum;
+            }
+        }
+        acc
+    }
+
+    /// Iterates over all sixteen digit positions, least significant first.
+    pub fn iter_digits(self) -> impl Iterator<Item = u8> {
+        (0..BCD64_DIGITS).map(move |i| self.digit(i))
+    }
+}
+
+impl fmt::Debug for Bcd64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bcd64({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for Bcd64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_value())
+    }
+}
+
+impl fmt::LowerHex for Bcd64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl FromStr for Bcd64 {
+    type Err = BcdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(BcdError::ParseError);
+        }
+        let digits: Vec<u8> = s.bytes().map(|b| b - b'0').collect();
+        Bcd64::from_digits(&digits)
+    }
+}
+
+impl From<Bcd64> for u64 {
+    fn from(b: Bcd64) -> u64 {
+        b.raw()
+    }
+}
+
+impl TryFrom<u64> for Bcd64 {
+    type Error = BcdError;
+
+    /// Interprets `raw` as packed BCD (not as a binary value).
+    fn try_from(raw: u64) -> Result<Self, Self::Error> {
+        Bcd64::new(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrip() {
+        for v in [0u64, 1, 9, 10, 12345, 9_999_999_999_999_999] {
+            let b = Bcd64::from_value(v).unwrap();
+            assert_eq!(b.to_value(), v);
+        }
+        assert_eq!(
+            Bcd64::from_value(10_000_000_000_000_000),
+            Err(BcdError::ValueTooLarge { capacity: 16 })
+        );
+    }
+
+    #[test]
+    fn new_rejects_bad_nibbles() {
+        assert!(Bcd64::new(0x1234).is_ok());
+        assert_eq!(
+            Bcd64::new(0x12A4),
+            Err(BcdError::InvalidNibble {
+                position: 1,
+                nibble: 0xA
+            })
+        );
+    }
+
+    #[test]
+    fn from_digits_msd_first() {
+        let b = Bcd64::from_digits(&[1, 2, 3]).unwrap();
+        assert_eq!(b.raw(), 0x123);
+        assert_eq!(
+            Bcd64::from_digits(&[1, 10]),
+            Err(BcdError::InvalidDigit { digit: 10 })
+        );
+        assert_eq!(
+            Bcd64::from_digits(&[1; 17]),
+            Err(BcdError::ValueTooLarge { capacity: 16 })
+        );
+    }
+
+    #[test]
+    fn digit_access() {
+        let b: Bcd64 = "9024".parse().unwrap();
+        assert_eq!(b.digit(0), 4);
+        assert_eq!(b.digit(3), 9);
+        assert_eq!(b.digit(15), 0);
+        let b2 = b.with_digit(0, 7).unwrap();
+        assert_eq!(b2.to_value(), 9027);
+    }
+
+    #[test]
+    fn significant_digits_counts() {
+        assert_eq!(Bcd64::ZERO.significant_digits(), 0);
+        assert_eq!(Bcd64::ONE.significant_digits(), 1);
+        assert_eq!(Bcd64::from_value(1000).unwrap().significant_digits(), 4);
+        assert_eq!(Bcd64::MAX.significant_digits(), 16);
+    }
+
+    #[test]
+    fn add_matches_binary() {
+        let a = Bcd64::from_value(123_456_789).unwrap();
+        let b = Bcd64::from_value(987_654_321).unwrap();
+        let (s, c) = a.add(b);
+        assert_eq!(s.to_value(), 1_111_111_110);
+        assert!(!c);
+    }
+
+    #[test]
+    fn sub_basic() {
+        let a = Bcd64::from_value(1000).unwrap();
+        let b = Bcd64::from_value(1).unwrap();
+        let (d, borrow) = a.sub(b);
+        assert_eq!(d.to_value(), 999);
+        assert!(!borrow);
+        let (d2, borrow2) = b.sub(a);
+        assert!(borrow2);
+        // Ten's complement wraparound: 1 - 1000 mod 10^16.
+        assert_eq!(d2.to_value(), 10_000_000_000_000_000 - 999);
+    }
+
+    #[test]
+    fn shifts() {
+        let b: Bcd64 = "1234".parse().unwrap();
+        assert_eq!(b.shl_digits(2).to_value(), 123_400);
+        assert_eq!(b.shr_digits(2).to_value(), 12);
+        assert_eq!(b.shl_digits(16), Bcd64::ZERO);
+        assert_eq!(b.shr_digits(16), Bcd64::ZERO);
+        // Top digits fall off.
+        assert_eq!(Bcd64::MAX.shl_digits(1).significant_digits(), 16);
+    }
+
+    #[test]
+    fn mul_digit_small() {
+        let b = Bcd64::from_value(123).unwrap();
+        assert_eq!(b.mul_digit(0).to_value(), 0);
+        assert_eq!(b.mul_digit(1).to_value(), 123);
+        assert_eq!(b.mul_digit(9).to_value(), 1107);
+    }
+
+    #[test]
+    fn mul_digit_needs_seventeenth_digit() {
+        let b = Bcd64::MAX;
+        assert_eq!(b.mul_digit(9).to_value(), 9_999_999_999_999_999u128 * 9);
+    }
+
+    #[test]
+    fn full_mul_exact() {
+        let a = Bcd64::from_value(9_999_999_999_999_999).unwrap();
+        let b = Bcd64::from_value(9_999_999_999_999_999).unwrap();
+        assert_eq!(
+            a.full_mul(b).to_value(),
+            9_999_999_999_999_999u128 * 9_999_999_999_999_999u128
+        );
+        assert_eq!(a.full_mul(Bcd64::ZERO).to_value(), 0);
+        assert_eq!(Bcd64::ZERO.full_mul(b).to_value(), 0);
+    }
+
+    #[test]
+    fn ordering_matches_numeric_order() {
+        let a = Bcd64::from_value(123).unwrap();
+        let b = Bcd64::from_value(124).unwrap();
+        assert!(a < b);
+        assert!(Bcd64::MAX > b);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let b: Bcd64 = "9024000000".parse().unwrap();
+        assert_eq!(b.to_string(), "9024000000");
+        assert_eq!("".parse::<Bcd64>(), Err(BcdError::ParseError));
+        assert_eq!("12x".parse::<Bcd64>(), Err(BcdError::ParseError));
+    }
+}

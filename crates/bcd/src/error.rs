@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced when constructing or operating on BCD values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BcdError {
+    /// A raw word contained a nibble that is not a decimal digit.
+    InvalidNibble {
+        /// Digit position (0 = least significant) of the offending nibble.
+        position: u32,
+        /// The nibble's value (10..=15).
+        nibble: u8,
+    },
+    /// A binary value does not fit in the target BCD width.
+    ValueTooLarge {
+        /// Number of decimal digits available in the target type.
+        capacity: u32,
+    },
+    /// A digit outside `0..=9` was supplied.
+    InvalidDigit {
+        /// The offending digit value.
+        digit: u8,
+    },
+    /// A string could not be parsed as an unsigned decimal integer.
+    ParseError,
+}
+
+impl fmt::Display for BcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BcdError::InvalidNibble { position, nibble } => {
+                write!(f, "invalid BCD nibble {nibble:#x} at digit position {position}")
+            }
+            BcdError::ValueTooLarge { capacity } => {
+                write!(f, "value does not fit in {capacity} decimal digits")
+            }
+            BcdError::InvalidDigit { digit } => {
+                write!(f, "digit {digit} is outside the decimal range 0..=9")
+            }
+            BcdError::ParseError => write!(f, "string is not an unsigned decimal integer"),
+        }
+    }
+}
+
+impl std::error::Error for BcdError {}

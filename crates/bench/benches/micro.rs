@@ -1,0 +1,76 @@
+//! Microbenchmarks of the decimal substrates: packed-BCD arithmetic, DPD
+//! declets, the decNumber-style reference, and the accelerator model.
+
+use bcd::cla::BcdCla;
+use bcd::Bcd64;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decnum::{Context, DecNumber};
+use rocc::{DecimalAccelerator, DecimalFunct};
+
+fn bench_bcd(c: &mut Criterion) {
+    let a = Bcd64::from_value(9_876_543_210_123_456).unwrap();
+    let b = Bcd64::from_value(1_234_567_890_654_321).unwrap();
+    c.bench_function("bcd64_add", |bench| {
+        bench.iter(|| black_box(black_box(a).add(black_box(b))))
+    });
+    c.bench_function("bcd64_full_mul", |bench| {
+        bench.iter(|| black_box(black_box(a).full_mul(black_box(b))))
+    });
+    let cla = BcdCla::new(16);
+    c.bench_function("bcd_cla_add", |bench| {
+        bench.iter(|| black_box(cla.add(black_box(a), black_box(b), false)))
+    });
+}
+
+fn bench_dpd(c: &mut Criterion) {
+    c.bench_function("declet_encode", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u16;
+            for v in 0..1000u16 {
+                acc ^= dpd::declet::encode_declet_bin(black_box(v));
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("declet_decode", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u16;
+            for v in 0..1024u16 {
+                acc ^= dpd::declet::decode_declet_bin(black_box(v));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_decnum(c: &mut Criterion) {
+    let x: DecNumber = "1234567890123456".parse().unwrap();
+    let y: DecNumber = "9876543210987654".parse().unwrap();
+    c.bench_function("decnum_mul", |bench| {
+        bench.iter(|| {
+            let mut ctx = Context::decimal64();
+            black_box(black_box(&x).mul(black_box(&y), &mut ctx))
+        })
+    });
+    c.bench_function("decnum_div", |bench| {
+        bench.iter(|| {
+            let mut ctx = Context::decimal64();
+            black_box(black_box(&x).div(black_box(&y), &mut ctx))
+        })
+    });
+}
+
+fn bench_accelerator(c: &mut Criterion) {
+    c.bench_function("accelerator_dec_add", |bench| {
+        let mut acc = DecimalAccelerator::new();
+        bench.iter(|| {
+            black_box(
+                acc.command(DecimalFunct::DecAdd, 0x1234_5678, 0x8765_4321, 0, 0, 0)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_bcd, bench_dpd, bench_decnum, bench_accelerator);
+criterion_main!(benches);

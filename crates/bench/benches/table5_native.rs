@@ -1,0 +1,32 @@
+//! Table V bench: host wall-clock of the native implementations — the
+//! paper's "real implementation" comparison (decNumber-style software vs
+//! Method-1 with dummy functions), measured properly with Criterion.
+
+use codesign::framework::{time_native, NativeMethod};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decimal_bench::workload;
+
+fn bench(c: &mut Criterion) {
+    let vectors = workload(2_000, 2019);
+    let mut group = c.benchmark_group("table5_native");
+    group.bench_function("software_decnumber_style", |b| {
+        b.iter(|| black_box(time_native(NativeMethod::Software, &vectors, 1)))
+    });
+    group.bench_function("method1_dummy_functions", |b| {
+        b.iter(|| black_box(time_native(NativeMethod::Method1Dummy, &vectors, 1)))
+    });
+    group.finish();
+
+    // Print the two-row table once with a larger repetition count.
+    let software = time_native(NativeMethod::Software, &vectors, 10);
+    let dummy = time_native(NativeMethod::Method1Dummy, &vectors, 10);
+    println!(
+        "\nTable V (sampled): software {:.6} s, dummy {:.6} s, speedup {:.2}x\n",
+        software.as_secs_f64(),
+        dummy.as_secs_f64(),
+        software.as_secs_f64() / dummy.as_secs_f64()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! Regenerates every table of the paper's evaluation.
+//!
+//! ```text
+//! tables [table2|table3|table4|table5|table6|pareto|all] [--samples N] [--seed S] [--reps R]
+//! ```
+//!
+//! Defaults: `all`, 8,000 samples (the paper's count), seed 2019.
+
+use codesign::framework::{time_native, NativeMethod};
+use codesign::kernels::KernelKind;
+use codesign::report;
+use decimal_bench::{atomic_config, evaluate_cycles, guest_for, rocket_timing, workload};
+
+struct Options {
+    what: String,
+    samples: usize,
+    seed: u64,
+    reps: u32,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        what: "all".to_string(),
+        samples: decimal_bench::PAPER_SAMPLES,
+        seed: 2019,
+        reps: 20,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--samples" => {
+                options.samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--samples needs a number"));
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--reps" => {
+                options.reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs a number"));
+            }
+            "table2" | "table3" | "table4" | "table5" | "table6" | "pareto" | "classes"
+            | "seeds" | "all"
+            => {
+                options.what = arg;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    options
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: tables [table2|table3|table4|table5|table6|pareto|classes|seeds|all] \
+         [--samples N] [--seed S] [--reps R]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let options = parse_args();
+    let what = options.what.as_str();
+    if matches!(what, "table2" | "all") {
+        println!("{}", report::table2());
+    }
+    if matches!(what, "table3" | "all") {
+        println!("{}", report::table3());
+    }
+    if matches!(what, "table4" | "all") {
+        table4(&options);
+    }
+    if matches!(what, "table5" | "all") {
+        table5(&options);
+    }
+    if matches!(what, "table6" | "all") {
+        table6(&options);
+    }
+    if matches!(what, "pareto" | "all") {
+        pareto(&options);
+    }
+    if matches!(what, "classes" | "all") {
+        classes(&options);
+    }
+    if matches!(what, "seeds" | "all") {
+        seeds(&options);
+    }
+}
+
+fn seeds(options: &Options) {
+    // The paper's §V caveat: "due to cache random replacement policy, Rocket
+    // chip is responsible for computing the number of cycles
+    // nondeterministically. However ... a large numbers of input samples
+    // with many repetition ... can show statistically meaningful results."
+    // Sweep the replacement seed and report the spread of the averages.
+    let count = options.samples.min(1_000);
+    let vectors = workload(count, options.seed);
+    eprintln!("[seeds] cache-seed sweep ({count} samples x 8 seeds)...");
+    println!("Cache-replacement nondeterminism (paper Sec. V)");
+    println!("{:<28} {:>10} {:>10} {:>10} {:>8}", "Configuration", "mean", "min", "max", "spread");
+    for kind in [KernelKind::Software, KernelKind::Method1] {
+        let averages: Vec<f64> = (0..8u64)
+            .map(|s| {
+                evaluate_cycles(kind, &vectors, rocket_timing(options.seed ^ (s * 0x9E37)))
+                    .avg_total_cycles
+            })
+            .collect();
+        let mean = averages.iter().sum::<f64>() / averages.len() as f64;
+        let min = averages.iter().cloned().fold(f64::MAX, f64::min);
+        let max = averages.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<28} {:>10.1} {:>10.1} {:>10.1} {:>7.3}%",
+            kind.name(),
+            mean,
+            min,
+            max,
+            100.0 * (max - min) / mean
+        );
+    }
+    println!();
+}
+
+fn classes(options: &Options) {
+    use codesign::framework::{build_guest_with, run_rocket_per_class};
+    use testgen::DriverLayout;
+    let count = options.samples.min(2_000);
+    let vectors = workload(count, options.seed);
+    let timing = rocket_timing(options.seed);
+    eprintln!("[classes] per-class cycle attribution ({count} samples)...");
+    let mut configs = Vec::new();
+    for kind in [
+        KernelKind::Software,
+        KernelKind::Method1,
+        KernelKind::Method1Dummy,
+    ] {
+        let guest = build_guest_with(
+            kind,
+            &vectors,
+            DriverLayout {
+                count: vectors.len(),
+                repetitions: 1,
+                per_sample_marks: true,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let breakdown = run_rocket_per_class(&guest, &vectors, timing);
+        configs.push((kind.name().to_string(), breakdown));
+    }
+    println!("{}", codesign::report::class_table(&configs));
+}
+
+fn table4(options: &Options) {
+    let vectors = workload(options.samples, options.seed);
+    let timing = rocket_timing(options.seed);
+    eprintln!(
+        "[table4] running {} samples on the cycle-accurate core...",
+        vectors.len()
+    );
+    let kinds = [
+        KernelKind::Method1,
+        KernelKind::Software,
+        KernelKind::Method1Dummy,
+    ];
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for kind in kinds {
+        let eval = evaluate_cycles(kind, &vectors, timing);
+        let row = report::Table4Row::from_eval(kind, &eval);
+        if kind == KernelKind::Software {
+            baseline = Some(row.clone());
+        }
+        rows.push(row);
+    }
+    let baseline = baseline.expect("software row present");
+    println!("{}", report::table4(&rows, &baseline));
+}
+
+fn table5(options: &Options) {
+    let vectors = workload(options.samples, options.seed);
+    eprintln!(
+        "[table5] timing native implementations ({} samples x {} reps)...",
+        vectors.len(),
+        options.reps
+    );
+    let software = time_native(NativeMethod::Software, &vectors, options.reps);
+    let dummy = time_native(NativeMethod::Method1Dummy, &vectors, options.reps);
+    let rows = vec![
+        (
+            "Method-1 using dummy function".to_string(),
+            dummy.as_secs_f64(),
+        ),
+        ("Software (decNumber-style)".to_string(), software.as_secs_f64()),
+    ];
+    println!(
+        "{}",
+        report::time_table(
+            "Table V: Evaluation by real (host) implementation",
+            "Time (sec)",
+            &rows,
+            1,
+        )
+    );
+}
+
+fn table6(options: &Options) {
+    // The atomic runs are slower per instruction than the native ones;
+    // keep the sample count moderate by default scaling.
+    let count = options.samples.min(2_000);
+    let vectors = workload(count, options.seed);
+    eprintln!("[table6] running {count} samples on the atomic CPU...");
+    let config = atomic_config();
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("Method-1 using dummy function", KernelKind::Method1Dummy),
+        ("Software (decNumber-style)", KernelKind::Software),
+    ] {
+        let guest = guest_for(kind, &vectors);
+        let eval = codesign::framework::run_atomic(&guest, config);
+        rows.push((label.to_string(), eval.simulated_seconds));
+    }
+    println!(
+        "{}",
+        report::time_table(
+            "Table VI: Evaluation using the Gem5-like AtomicSimpleCPU model",
+            "Time (sec)",
+            &rows,
+            1,
+        )
+    );
+}
+
+fn pareto(options: &Options) {
+    let count = options.samples.min(2_000);
+    let vectors = workload(count, options.seed);
+    let timing = rocket_timing(options.seed);
+    eprintln!("[pareto] running the four methods ({count} samples)...");
+    let costs = report::method_costs();
+    let mut entries = Vec::new();
+    for (kind, (name, gates)) in [
+        KernelKind::Method1,
+        KernelKind::Method2,
+        KernelKind::Method3,
+        KernelKind::Method4,
+    ]
+    .into_iter()
+    .zip(costs)
+    {
+        let eval = evaluate_cycles(kind, &vectors, timing);
+        entries.push((name, gates, eval.avg_total_cycles));
+    }
+    println!("{}", report::pareto_table(&entries));
+}

@@ -1,0 +1,99 @@
+//! Shared helpers for the benchmark harness: canonical workload and
+//! platform configurations used by both the `tables` binary and the
+//! Criterion benches, so every table is regenerated from one definition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use atomic_sim::AtomicConfig;
+use codesign::framework::{build_guest, run_rocket, verify_results, CycleEvaluation, GuestProgram};
+use codesign::kernels::KernelKind;
+use rocket_sim::TimingConfig;
+use testgen::{TestConfig, TestVector};
+
+/// The paper's sample count (Table IV: "8,000 sample inputs including
+/// overflow, underflow, normal, rounding, and clamping cases").
+pub const PAPER_SAMPLES: usize = 8_000;
+
+/// The canonical Table IV workload, scaled to `count` samples.
+#[must_use]
+pub fn workload(count: usize, seed: u64) -> Vec<TestVector> {
+    testgen::generate(&TestConfig {
+        count,
+        seed,
+        ..TestConfig::default()
+    })
+}
+
+/// The Rocket timing configuration every cycle-accurate table uses.
+#[must_use]
+pub fn rocket_timing(seed: u64) -> TimingConfig {
+    TimingConfig {
+        seed,
+        ..TimingConfig::default()
+    }
+}
+
+/// The Gem5-like configuration for Table VI: 1 GHz clock with Minor-CPU-ish
+/// functional-unit latencies (IntMult 3, IntDiv 12).
+#[must_use]
+pub fn atomic_config() -> AtomicConfig {
+    AtomicConfig {
+        mul_cycles: 3,
+        div_cycles: 12,
+        ..AtomicConfig::default()
+    }
+}
+
+/// Builds a guest for the canonical workload.
+///
+/// # Panics
+///
+/// Panics if kernel emission produced unassemblable source (a bug).
+#[must_use]
+pub fn guest_for(kind: KernelKind, vectors: &[TestVector]) -> GuestProgram {
+    build_guest(kind, vectors, 1).unwrap_or_else(|e| panic!("{kind}: {e}"))
+}
+
+/// Runs one kernel cycle-accurately and verifies results against the
+/// oracle (unless the kernel is a dummy configuration).
+///
+/// # Panics
+///
+/// Panics on result mismatches for non-dummy kernels.
+#[must_use]
+pub fn evaluate_cycles(
+    kind: KernelKind,
+    vectors: &[TestVector],
+    timing: TimingConfig,
+) -> CycleEvaluation {
+    let guest = guest_for(kind, vectors);
+    let eval = run_rocket(&guest, timing);
+    if !kind.results_are_dummy() {
+        let mismatches = verify_results(&eval.results, vectors);
+        assert!(
+            mismatches.is_empty(),
+            "{kind}: {} result mismatches",
+            mismatches.len()
+        );
+    }
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(workload(10, 1), workload(10, 1));
+    }
+
+    #[test]
+    fn evaluate_cycles_smoke() {
+        let vectors = workload(20, 3);
+        let eval = evaluate_cycles(KernelKind::Method1, &vectors, rocket_timing(1));
+        assert!(eval.avg_total_cycles > 0.0);
+        assert!(eval.avg_hw_cycles > 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Accelerator backends for the native Method-1 implementation.
+//!
+//! The co-design methods call a small set of decimal-hardware operations.
+//! [`AccelBackend`] abstracts who actually performs them:
+//!
+//! * [`ClaBackend`] — the real accelerator model (`rocc`), the configuration
+//!   the paper's framework evaluates cycle-accurately;
+//! * [`SoftwareBackend`] — direct `bcd` software arithmetic, for
+//!   differential testing of the flow itself;
+//! * [`DummyBackend`] — the prior art's estimation device: "the dummy
+//!   functions have a fixed return type" (paper §V), so results are wrong
+//!   and data-dependent paths may not be taken — exactly the inaccuracy the
+//!   paper's framework exposes.
+
+use bcd::Bcd64;
+use rocc::{DecimalAccelerator, DecimalFunct};
+
+/// The decimal-hardware operations Method-1 requires (one BCD-CLA).
+pub trait AccelBackend {
+    /// BCD addition; the carry out is latched for a following
+    /// [`AccelBackend::dec_adc`].
+    fn dec_add(&mut self, a: u64, b: u64) -> u64;
+
+    /// BCD addition including the latched carry-in; latches carry out.
+    fn dec_adc(&mut self, a: u64, b: u64) -> u64;
+
+    /// The latched carry flag.
+    fn carry(&self) -> bool;
+
+    /// Number of backend calls so far (the hardware-invocation count).
+    fn calls(&self) -> u64;
+}
+
+/// The real accelerator model: commands go through the same
+/// [`DecimalAccelerator`] the simulated cores attach over RoCC.
+#[derive(Debug, Default)]
+pub struct ClaBackend {
+    accelerator: DecimalAccelerator,
+    calls: u64,
+}
+
+impl ClaBackend {
+    /// A fresh accelerator.
+    #[must_use]
+    pub fn new() -> Self {
+        ClaBackend::default()
+    }
+
+    /// The wrapped accelerator (e.g. for cost/statistics queries).
+    #[must_use]
+    pub fn accelerator(&self) -> &DecimalAccelerator {
+        &self.accelerator
+    }
+}
+
+impl AccelBackend for ClaBackend {
+    fn dec_add(&mut self, a: u64, b: u64) -> u64 {
+        self.calls += 1;
+        self.accelerator
+            .command(DecimalFunct::DecAdd, a, b, 0, 0, 0)
+            .expect("valid BCD operands")
+            .rd_value
+            .expect("DEC_ADD responds")
+    }
+
+    fn dec_adc(&mut self, a: u64, b: u64) -> u64 {
+        self.calls += 1;
+        self.accelerator
+            .command(DecimalFunct::DecAdc, a, b, 0, 0, 0)
+            .expect("valid BCD operands")
+            .rd_value
+            .expect("DEC_ADC responds")
+    }
+
+    fn carry(&self) -> bool {
+        self.accelerator.carry()
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+/// Pure-software BCD arithmetic (no hardware model in the loop).
+#[derive(Debug, Default)]
+pub struct SoftwareBackend {
+    carry: bool,
+    calls: u64,
+}
+
+impl SoftwareBackend {
+    /// A fresh backend with a clear carry latch.
+    #[must_use]
+    pub fn new() -> Self {
+        SoftwareBackend::default()
+    }
+}
+
+impl AccelBackend for SoftwareBackend {
+    fn dec_add(&mut self, a: u64, b: u64) -> u64 {
+        self.calls += 1;
+        let (sum, carry) = Bcd64::from_raw_unchecked(a).add(Bcd64::from_raw_unchecked(b));
+        self.carry = carry;
+        sum.raw()
+    }
+
+    fn dec_adc(&mut self, a: u64, b: u64) -> u64 {
+        self.calls += 1;
+        let (sum, carry) =
+            Bcd64::from_raw_unchecked(a).adc(Bcd64::from_raw_unchecked(b), self.carry);
+        self.carry = carry;
+        sum.raw()
+    }
+
+    fn carry(&self) -> bool {
+        self.carry
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+/// The paper's dummy functions: every call returns its first operand
+/// unchanged (`return a;` in the paper's listing) and the carry is stuck at
+/// zero. Results are deliberately wrong; only the call pattern and timing
+/// matter.
+#[derive(Debug, Default)]
+pub struct DummyBackend {
+    calls: u64,
+}
+
+impl DummyBackend {
+    /// A fresh dummy backend.
+    #[must_use]
+    pub fn new() -> Self {
+        DummyBackend::default()
+    }
+}
+
+impl AccelBackend for DummyBackend {
+    fn dec_add(&mut self, a: u64, _b: u64) -> u64 {
+        self.calls += 1;
+        a
+    }
+
+    fn dec_adc(&mut self, a: u64, _b: u64) -> u64 {
+        self.calls += 1;
+        a
+    }
+
+    fn carry(&self) -> bool {
+        false
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &mut dyn AccelBackend) -> (u64, u64, bool) {
+        let lo = backend.dec_add(0x9999_9999_9999_9999, 0x1);
+        let hi = backend.dec_adc(0x0, 0x0);
+        (lo, hi, backend.carry())
+    }
+
+    #[test]
+    fn cla_and_software_agree() {
+        let mut cla = ClaBackend::new();
+        let mut sw = SoftwareBackend::new();
+        assert_eq!(exercise(&mut cla), exercise(&mut sw));
+        assert_eq!(cla.calls(), 2);
+        assert_eq!(sw.calls(), 2);
+    }
+
+    #[test]
+    fn carry_chains_through_adc() {
+        let mut sw = SoftwareBackend::new();
+        let (lo, hi, _) = exercise(&mut sw);
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 1, "carry from the low half lands in the high half");
+    }
+
+    #[test]
+    fn dummy_returns_first_operand() {
+        let mut dummy = DummyBackend::new();
+        assert_eq!(dummy.dec_add(0x42, 0x999), 0x42);
+        assert_eq!(dummy.dec_adc(0x7, 0x1), 0x7);
+        assert!(!dummy.carry());
+        assert_eq!(dummy.calls(), 2);
+    }
+}

@@ -1,0 +1,402 @@
+//! The evaluation framework (paper Fig. 2).
+//!
+//! Guest programs are produced exactly as the paper's flow does: the test
+//! generator supplies operands, the driver loop and the kernel under test
+//! are assembled into one RISC-V binary, and that binary runs unmodified on
+//! each evaluation platform —
+//!
+//! * [`run_functional`] — the Spike-role functional simulator, used for
+//!   verification against the `decnum` oracle;
+//! * [`run_rocket`] — the cycle-accurate Rocket-like core with the decimal
+//!   accelerator attached, producing the SW/HW cycle split of Table IV;
+//! * [`run_atomic`] — the Gem5-`AtomicSimpleCPU`-like model of Table VI;
+//! * [`time_native`] — host wall-clock runs of the native implementations
+//!   (Table V).
+
+use std::time::{Duration, Instant};
+
+use atomic_sim::{AtomicConfig, AtomicSim};
+use decnum::Status;
+use dpd::Decimal64;
+use riscv_asm::{assemble, AsmError, Program, STACK_TOP};
+use riscv_isa::Reg;
+use rocc::DecimalAccelerator;
+use rocket_sim::{RocketSim, RunStats, TimingConfig};
+use testgen::{driver_source, operand_data_section, DriverLayout, TestVector};
+
+use crate::kernels::{kernel_source, KernelKind};
+use crate::native;
+
+/// A built guest program plus the layout needed to read its results back.
+#[derive(Debug, Clone)]
+pub struct GuestProgram {
+    /// The assembled binary.
+    pub program: Program,
+    /// Operand count / repetitions.
+    pub layout: DriverLayout,
+    /// The kernel configuration inside.
+    pub kind: KernelKind,
+}
+
+/// Builds the guest program for `kind` over `vectors`.
+///
+/// # Errors
+///
+/// Returns the assembler error if the generated source is malformed (a bug
+/// in the kernel emitters).
+pub fn build_guest(
+    kind: KernelKind,
+    vectors: &[TestVector],
+    repetitions: u32,
+) -> Result<GuestProgram, AsmError> {
+    build_guest_with(
+        kind,
+        vectors,
+        DriverLayout {
+            count: vectors.len(),
+            repetitions,
+            per_sample_marks: false,
+        },
+    )
+}
+
+/// Builds the guest program with an explicit driver layout (e.g. with
+/// per-sample markers for per-class cycle attribution).
+///
+/// # Errors
+///
+/// See [`build_guest`].
+pub fn build_guest_with(
+    kind: KernelKind,
+    vectors: &[TestVector],
+    layout: DriverLayout,
+) -> Result<GuestProgram, AsmError> {
+    let mut source = String::new();
+    source += &driver_source(layout);
+    source += &kernel_source(kind);
+    source += &operand_data_section(vectors);
+    Ok(GuestProgram {
+        program: assemble(&source)?,
+        layout,
+        kind,
+    })
+}
+
+fn load_into_cpu(cpu: &mut riscv_sim::Cpu, guest: &GuestProgram) {
+    for seg in guest.program.segments() {
+        if !seg.data.is_empty() {
+            cpu.memory
+                .load_bytes(seg.base, &seg.data)
+                .expect("segment loads");
+        }
+    }
+    cpu.set_pc(guest.program.entry);
+    cpu.set_reg(Reg::SP, STACK_TOP);
+}
+
+fn read_results(memory: &riscv_sim::Memory, guest: &GuestProgram) -> Vec<u64> {
+    let base = guest
+        .program
+        .symbol("results")
+        .expect("driver defines results");
+    (0..guest.layout.count)
+        .map(|i| {
+            memory
+                .read_u64(base + 8 * i as u64)
+                .expect("result slot mapped")
+        })
+        .collect()
+}
+
+fn instruction_budget(guest: &GuestProgram) -> u64 {
+    200_000 + guest.layout.count as u64 * u64::from(guest.layout.repetitions.max(1)) * 40_000
+}
+
+/// Outcome of a functional (Spike-role) run.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// Result bits per sample.
+    pub results: Vec<u64>,
+    /// Instructions retired.
+    pub instret: u64,
+}
+
+/// Runs the guest on the functional simulator (with the accelerator
+/// attached when the kernel needs it).
+///
+/// # Panics
+///
+/// Panics if the guest faults — kernels are expected to be correct by
+/// construction; a fault is a framework bug worth failing loudly on.
+#[must_use]
+pub fn run_functional(guest: &GuestProgram) -> FunctionalRun {
+    let mut cpu = riscv_sim::Cpu::new();
+    cpu.attach_coprocessor(Box::new(DecimalAccelerator::new()));
+    load_into_cpu(&mut cpu, guest);
+    let code = cpu
+        .run(instruction_budget(guest))
+        .unwrap_or_else(|e| panic!("functional run faulted at pc {:#x}: {e}", cpu.pc()));
+    assert_eq!(code, 0, "guest exited with {code}");
+    FunctionalRun {
+        results: read_results(&cpu.memory, guest),
+        instret: cpu.instret,
+    }
+}
+
+/// Outcome of a cycle-accurate run: Table IV's quantities.
+#[derive(Debug, Clone)]
+pub struct CycleEvaluation {
+    /// Result bits per sample.
+    pub results: Vec<u64>,
+    /// Average cycles per multiplication (measurement region / samples).
+    pub avg_total_cycles: f64,
+    /// Average cycles attributed to the accelerator ("HW part").
+    pub avg_hw_cycles: f64,
+    /// Average software cycles ("SW part" = total − HW).
+    pub avg_sw_cycles: f64,
+    /// Whole-run statistics.
+    pub stats: RunStats,
+}
+
+/// Runs the guest cycle-accurately on the Rocket-like core.
+///
+/// # Panics
+///
+/// Panics on guest faults or a missing measurement region.
+#[must_use]
+pub fn run_rocket(guest: &GuestProgram, timing: TimingConfig) -> CycleEvaluation {
+    let mut sim = RocketSim::new(timing);
+    sim.attach_coprocessor(Box::new(DecimalAccelerator::new()));
+    load_into_cpu(&mut sim.cpu, guest);
+    let report = sim
+        .run(instruction_budget(guest))
+        .unwrap_or_else(|e| panic!("rocket run faulted: {e}"));
+    assert_eq!(report.exit_code, 0);
+    let start = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_START)
+        .expect("start marker");
+    let end = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_END)
+        .expect("end marker");
+    let calls = (guest.layout.count as f64) * f64::from(guest.layout.repetitions.max(1));
+    let region = (end.cycle - start.cycle) as f64;
+    // The HW bucket only accumulates inside kernel executions, so the
+    // whole-run total is the measurement region's total.
+    let hw = report.stats.hw_cycles as f64;
+    CycleEvaluation {
+        results: read_results(&sim.cpu.memory, guest),
+        avg_total_cycles: region / calls,
+        avg_hw_cycles: hw / calls,
+        avg_sw_cycles: (region - hw) / calls,
+        stats: report.stats,
+    }
+}
+
+/// Per-input-class cycle averages from a marked run.
+#[derive(Debug, Clone)]
+pub struct ClassBreakdown {
+    /// `(class, average cycles per multiplication, sample count)` rows,
+    /// ordered by class.
+    pub rows: Vec<(testgen::CaseClass, f64, usize)>,
+    /// The overall average across all samples.
+    pub overall: f64,
+}
+
+/// Runs the guest (which must have been built with per-sample markers via
+/// [`build_guest_with`]) and attributes cycles to each input class — the
+/// measurement behind the paper's observation that "computing time \[is\]
+/// highly dependent on the nature of the input, like rounding operation
+/// takes higher time than normal operation".
+///
+/// # Panics
+///
+/// Panics if the guest was built without per-sample markers, or on faults.
+#[must_use]
+pub fn run_rocket_per_class(
+    guest: &GuestProgram,
+    vectors: &[TestVector],
+    timing: TimingConfig,
+) -> ClassBreakdown {
+    assert!(
+        guest.layout.per_sample_marks,
+        "guest must be built with per-sample markers"
+    );
+    let mut sim = RocketSim::new(timing);
+    sim.attach_coprocessor(Box::new(DecimalAccelerator::new()));
+    load_into_cpu(&mut sim.cpu, guest);
+    let report = sim
+        .run(instruction_budget(guest))
+        .unwrap_or_else(|e| panic!("rocket run faulted: {e}"));
+    assert_eq!(report.exit_code, 0);
+    // Per-sample cycles: marker i+1 (or the end marker) minus marker i.
+    let sample_marks: Vec<&riscv_sim::Marker> = report
+        .markers
+        .iter()
+        .filter(|m| m.id >= testgen::MARK_SAMPLE_BASE)
+        .collect();
+    let end = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_END)
+        .expect("end marker");
+    assert_eq!(sample_marks.len(), vectors.len(), "one marker per sample");
+    let reps = f64::from(guest.layout.repetitions.max(1));
+    let mut sums: std::collections::BTreeMap<testgen::CaseClass, (f64, usize)> =
+        std::collections::BTreeMap::new();
+    let mut total = 0.0;
+    for (i, vector) in vectors.iter().enumerate() {
+        let start_cycle = sample_marks[i].cycle;
+        let end_cycle = sample_marks
+            .get(i + 1)
+            .map_or(end.cycle, |m| m.cycle);
+        let cycles = (end_cycle - start_cycle) as f64 / reps;
+        total += cycles;
+        let entry = sums.entry(vector.class).or_insert((0.0, 0));
+        entry.0 += cycles;
+        entry.1 += 1;
+    }
+    ClassBreakdown {
+        rows: sums
+            .into_iter()
+            .map(|(class, (sum, n))| (class, sum / n as f64, n))
+            .collect(),
+        overall: total / vectors.len() as f64,
+    }
+}
+
+/// Outcome of a Gem5-like atomic run: Table VI's quantities.
+#[derive(Debug, Clone)]
+pub struct AtomicEvaluation {
+    /// Result bits per sample.
+    pub results: Vec<u64>,
+    /// Simulated seconds for the measurement region.
+    pub simulated_seconds: f64,
+    /// Instructions retired in the whole run.
+    pub instret: u64,
+}
+
+/// Runs the guest on the atomic (Gem5 `AtomicSimpleCPU` SE-mode analogue)
+/// simulator.
+///
+/// # Panics
+///
+/// Panics on guest faults.
+#[must_use]
+pub fn run_atomic(guest: &GuestProgram, config: AtomicConfig) -> AtomicEvaluation {
+    let mut sim = AtomicSim::new(config);
+    sim.attach_coprocessor(Box::new(DecimalAccelerator::new()));
+    load_into_cpu(&mut sim.cpu, guest);
+    let report = sim
+        .run(instruction_budget(guest))
+        .unwrap_or_else(|e| panic!("atomic run faulted: {e}"));
+    assert_eq!(report.exit_code, 0);
+    let start = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_START)
+        .expect("start marker");
+    let end = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_END)
+        .expect("end marker");
+    AtomicEvaluation {
+        results: read_results(&sim.cpu.memory, guest),
+        simulated_seconds: (end.cycle - start.cycle) as f64 / config.clock_hz,
+        instret: report.stats.instret,
+    }
+}
+
+/// Compares per-sample results against the `decnum` oracle; returns the
+/// mismatching sample indices (expected to be empty for every kernel except
+/// the dummy configuration).
+#[must_use]
+pub fn verify_results(results: &[u64], vectors: &[TestVector]) -> Vec<usize> {
+    results
+        .iter()
+        .zip(vectors)
+        .enumerate()
+        .filter_map(|(i, (&got, vector))| {
+            let (xb, yb) = vector.to_decimal64_bits();
+            let mut status = Status::CLEAR;
+            let expected = native::software_multiply(
+                Decimal64::from_bits(xb),
+                Decimal64::from_bits(yb),
+                &mut status,
+            );
+            (got != expected.to_bits()).then_some(i)
+        })
+        .collect()
+}
+
+/// Which native implementation to time for Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeMethod {
+    /// decNumber-style software multiplication.
+    Software,
+    /// Method-1 flow with dummy functions (the paper's Table V subject).
+    Method1Dummy,
+    /// Method-1 flow with the real accelerator model (not in the paper's
+    /// Table V — hardware cannot run natively — but useful for comparison).
+    Method1Accel,
+}
+
+/// Times `repetitions` passes of a native implementation over `vectors` on
+/// the host (the paper's "real implementation" evaluation).
+#[must_use]
+pub fn time_native(method: NativeMethod, vectors: &[TestVector], repetitions: u32) -> Duration {
+    let pairs: Vec<(Decimal64, Decimal64)> = vectors
+        .iter()
+        .map(|v| {
+            let (x, y) = v.to_decimal64_bits();
+            (Decimal64::from_bits(x), Decimal64::from_bits(y))
+        })
+        .collect();
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for _ in 0..repetitions.max(1) {
+        for &(x, y) in &pairs {
+            let mut status = Status::CLEAR;
+            let r = match method {
+                NativeMethod::Software => native::software_multiply(x, y, &mut status),
+                NativeMethod::Method1Dummy => native::method1_multiply_dummy(x, y, &mut status),
+                NativeMethod::Method1Accel => native::method1_multiply_accel(x, y, &mut status),
+            };
+            sink = sink.wrapping_add(r.to_bits());
+        }
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testgen::TestConfig;
+
+    #[test]
+    fn build_guest_assembles_for_all_kernels() {
+        let vectors = testgen::generate(&TestConfig {
+            count: 5,
+            ..TestConfig::default()
+        });
+        for kind in KernelKind::ALL {
+            build_guest(kind, &vectors, 1).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn native_timing_returns_nonzero() {
+        let vectors = testgen::generate(&TestConfig {
+            count: 50,
+            ..TestConfig::default()
+        });
+        let d = time_native(NativeMethod::Software, &vectors, 2);
+        assert!(d.as_nanos() > 0);
+    }
+}

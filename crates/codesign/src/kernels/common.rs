@@ -1,0 +1,693 @@
+//! Shared assembly subroutines: DPD decode/encode, specials handling, and
+//! the rounding/packing epilogue — the "software part" every method shares.
+//!
+//! Internal calling conventions (custom, leaf-friendly):
+//!
+//! * `decode64`: a0 = bits → a0 = BCD coefficient, a1 = biased exponent,
+//!   a2 = sign; clobbers t0–t6. Finite operands only.
+//! * `encode64`: a0 = BCD coefficient, a1 = biased exponent, a2 = sign →
+//!   a0 = bits; clobbers t0–t6.
+//! * `is_zero64`: a0 = bits (finite) → a0 = 1 if the coefficient is zero.
+//! * `round_pack`: a0 = product lo, a1 = product hi (packed BCD), a2 =
+//!   biased exponent of the product LSD (signed), a3 = sign → a0 = result
+//!   bits. Uses `DEC_ADD`/`DEC_ADC` (or dummy calls) for the rounding
+//!   increment; clobbers t0–t6, a6, a7.
+//!
+//! Registers `a4`/`a5` are reserved for the dummy-function marshalling and
+//! never used by these routines.
+
+/// Emits a `rd = BCD_ADD(rs1, rs2)` step: a real `DEC_ADD` custom
+/// instruction, or a call to the dummy function.
+pub(crate) fn dec_add(rd: &str, rs1: &str, rs2: &str, dummy: bool) -> String {
+    if dummy {
+        format!("    mv a4, {rs1}\n    mv a5, {rs2}\n    call dummy_dec_add\n    mv {rd}, a4\n")
+    } else {
+        format!("    custom0 4, {rd}, {rs1}, {rs2}, 1, 1, 1\n")
+    }
+}
+
+/// Emits a `rd = BCD_ADC(rs1, rs2)` step (add with the latched carry).
+pub(crate) fn dec_adc(rd: &str, rs1: &str, rs2: &str, dummy: bool) -> String {
+    if dummy {
+        format!("    mv a4, {rs1}\n    mv a5, {rs2}\n    call dummy_dec_adc\n    mv {rd}, a4\n")
+    } else {
+        format!("    custom0 9, {rd}, {rs1}, {rs2}, 1, 1, 1\n")
+    }
+}
+
+/// The dummy functions of the prior art's evaluation: fixed return (the
+/// first operand comes back unchanged), no decimal work.
+pub(crate) const DUMMY_FUNCTIONS: &str = "
+dummy_dec_add:
+    ret
+dummy_dec_adc:
+    ret
+";
+
+/// BCD-flavoured shared subroutines (Method-1..4).
+pub(crate) fn subroutines_bcd(dummy: bool) -> String {
+    let mut out = String::new();
+    out += DECODE64_BCD;
+    out += ENCODE64_BCD;
+    out += IS_ZERO64;
+    out += &round_pack_bcd(dummy);
+    out
+}
+
+/// Binary-flavoured shared subroutines (software baseline).
+pub(crate) fn subroutines_binary() -> String {
+    let mut out = String::new();
+    out += DECODE64_BIN;
+    out += ENCODE64_BIN;
+    out += IS_ZERO64;
+    out += ROUND_PACK_BIN;
+    out
+}
+
+/// DPD → packed-BCD decode (Method-1's cheap conversion: table per declet).
+const DECODE64_BCD: &str = "
+decode64:
+    srli a2, a0, 63
+    srli t0, a0, 58
+    andi t0, t0, 31            # combination field
+    srli t1, t0, 3
+    li   t2, 3
+    bne  t1, t2, dec64_small_msd
+    srli t1, t0, 1
+    andi t1, t1, 3             # exponent high bits
+    andi t3, t0, 1
+    addi t3, t3, 8             # msd = 8 or 9
+    j    dec64_have_msd
+dec64_small_msd:
+    andi t3, t0, 7             # msd 0..7 (t1 = exponent high bits)
+dec64_have_msd:
+    srli t2, a0, 50
+    andi t2, t2, 255
+    slli a1, t1, 8
+    or   a1, a1, t2            # biased exponent
+    la   t4, dpd2bcd
+    slli t5, t3, 60            # msd at digit 15
+    andi t0, a0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    or   t5, t5, t1
+    srli t0, a0, 10
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    slli t1, t1, 12
+    or   t5, t5, t1
+    srli t0, a0, 20
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    slli t1, t1, 24
+    or   t5, t5, t1
+    srli t0, a0, 30
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    slli t1, t1, 36
+    or   t5, t5, t1
+    srli t0, a0, 40
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    slli t1, t1, 48
+    or   t5, t5, t1
+    mv   a0, t5
+    ret
+";
+
+/// Packed-BCD → DPD encode.
+const ENCODE64_BCD: &str = "
+encode64:
+    srli t3, a0, 60            # msd
+    srli t1, a1, 8             # exponent high bits
+    andi t2, a1, 255           # exponent continuation
+    li   t0, 8
+    blt  t3, t0, enc64_small
+    addi t3, t3, -8
+    slli t1, t1, 1
+    or   t3, t3, t1
+    ori  t3, t3, 24            # 0b11000 | eh<<1 | (msd-8)
+    j    enc64_have
+enc64_small:
+    slli t1, t1, 3
+    or   t3, t3, t1
+enc64_have:
+    slli t4, a2, 63
+    slli t3, t3, 58
+    or   t4, t4, t3
+    slli t2, t2, 50
+    or   t4, t4, t2
+    la   t5, bcd2dpd
+    li   t6, 0xFFF
+    and  t0, a0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    or   t4, t4, t1
+    srli t0, a0, 12
+    and  t0, t0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    slli t1, t1, 10
+    or   t4, t4, t1
+    srli t0, a0, 24
+    and  t0, t0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    slli t1, t1, 20
+    or   t4, t4, t1
+    srli t0, a0, 36
+    and  t0, t0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    slli t1, t1, 30
+    or   t4, t4, t1
+    srli t0, a0, 48
+    and  t0, t0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    slli t1, t1, 40
+    or   t4, t4, t1
+    mv   a0, t4
+    ret
+";
+
+/// Finite-operand zero test on the interchange bits (canonical inputs).
+const IS_ZERO64: &str = "
+is_zero64:
+    srli t0, a0, 58
+    andi t0, t0, 31
+    srli t1, t0, 3
+    li   t2, 3
+    bne  t1, t2, iz_small
+    andi t3, t0, 1
+    addi t3, t3, 8
+    j    iz_msd
+iz_small:
+    andi t3, t0, 7
+iz_msd:
+    bnez t3, iz_nonzero
+    slli t0, a0, 14            # keep the 50 coefficient-continuation bits
+    bnez t0, iz_nonzero
+    li   a0, 1
+    ret
+iz_nonzero:
+    li   a0, 0
+    ret
+";
+
+/// The BCD rounding/packing epilogue. One rounding of the exact product at
+/// the precision (or at Etiny for subnormal results), overflow to infinity
+/// (round-half-even), exponent clamping, then DPD encode.
+fn round_pack_bcd(dummy: bool) -> String {
+    let inc_add = dec_add("a0", "a0", "t0", dummy);
+    let carry_read = dec_adc("t0", "zero", "zero", dummy);
+    format!(
+        "
+round_pack:
+    addi sp, sp, -16
+    sd   ra, 8(sp)
+    # significant digits n -> t1
+    mv   t0, a1
+    li   t2, 16
+    bnez t0, rp_count
+    mv   t0, a0
+    li   t2, 0
+rp_count:
+    li   t1, 0
+rp_count_loop:
+    beqz t0, rp_counted
+    srli t0, t0, 4
+    addi t1, t1, 1
+    j    rp_count_loop
+rp_counted:
+    add  t1, t1, t2
+    # early overflow: value != 0 and eb + n - 1 > 782
+    or   t0, a0, a1
+    beqz t0, rp_skip_early
+    add  t3, a2, t1
+    addi t3, t3, -1
+    li   t0, 782
+    ble  t3, t0, rp_skip_early
+    j    rp_infinity
+rp_skip_early:
+    # subnormal_before = eb + n - 1 < 15 -> t4
+    add  t3, a2, t1
+    addi t3, t3, -1
+    slti t4, t3, 15
+    # discard = max(n - 16, 0) -> t5
+    addi t5, t1, -16
+    bgez t5, rp_disc_nonneg
+    li   t5, 0
+rp_disc_nonneg:
+    beqz t4, rp_have_discard
+    bgez a2, rp_have_discard
+    neg  t6, a2
+    bge  t5, t6, rp_have_discard
+    mv   t5, t6
+rp_have_discard:
+    beqz t5, rp_round_done
+    # everything discarded? discard > n -> zero result
+    bgt  t5, t1, rp_all_gone
+    addi t6, t5, -1            # idx of the round digit
+    li   t0, 16
+    bgeu t6, t0, rp_rd_in_hi
+    slli t2, t6, 2
+    srl  a6, a0, t2
+    andi a6, a6, 15            # round digit
+    li   t3, 1
+    sll  t3, t3, t2
+    addi t3, t3, -1
+    and  t3, a0, t3
+    snez a7, t3                # sticky
+    j    rp_do_shift
+rp_rd_in_hi:
+    addi t2, t6, -16
+    slli t2, t2, 2
+    srl  a6, a1, t2
+    andi a6, a6, 15
+    li   t3, 1
+    sll  t3, t3, t2
+    addi t3, t3, -1
+    and  t3, a1, t3
+    or   t3, t3, a0
+    snez a7, t3
+rp_do_shift:
+    slli t2, t5, 2             # bit shift = 4 * discard
+    li   t0, 64
+    bgeu t2, t0, rp_shift_wide
+    srl  a0, a0, t2
+    sub  t3, t0, t2
+    sll  t3, a1, t3
+    or   a0, a0, t3
+    srl  a1, a1, t2
+    j    rp_rounddigit
+rp_shift_wide:
+    sub  t2, t2, t0            # s - 64 (0..=64)
+    bgeu t2, t0, rp_shift_all  # s >= 128: every digit shifted out
+    srl  a0, a1, t2
+    li   a1, 0
+    j    rp_rounddigit
+rp_shift_all:
+    li   a0, 0
+    li   a1, 0
+rp_rounddigit:
+    # increment if rd > 5 or (rd == 5 and (sticky or odd lsd))
+    li   t0, 5
+    bltu a6, t0, rp_inc_done
+    bne  a6, t0, rp_increment
+    bnez a7, rp_increment
+    andi t0, a0, 1
+    beqz t0, rp_inc_done
+rp_increment:
+    li   t0, 1
+{inc_add}{carry_read}    beqz t0, rp_inc_done
+    # 16 nines + 1: coefficient becomes 10^15, exponent rises
+    li   a0, 0x1000000000000000
+    addi a2, a2, 1
+rp_inc_done:
+    add  a2, a2, t5            # eb += discard
+    j    rp_round_done
+rp_all_gone:
+    li   a0, 0
+    li   a1, 0
+    add  a2, a2, t5
+rp_round_done:
+    # recount digits of the (now <= 16 digit) coefficient
+    mv   t0, a0
+    li   t1, 0
+rp_recount:
+    beqz t0, rp_recounted
+    srli t0, t0, 4
+    addi t1, t1, 1
+    j    rp_recount
+rp_recounted:
+    beqz a0, rp_zero
+    # overflow check: eb + n' - 1 > 782
+    add  t2, a2, t1
+    addi t2, t2, -1
+    li   t3, 782
+    bgt  t2, t3, rp_infinity
+    # clamping: eb > 767 pads the coefficient
+    li   t3, 767
+    ble  a2, t3, rp_encode
+    sub  t2, a2, t3
+    slli t2, t2, 2
+    sll  a0, a0, t2
+    li   a2, 767
+    j    rp_encode
+rp_zero:
+    bgez a2, rp_zero_hi
+    li   a2, 0
+rp_zero_hi:
+    li   t3, 767
+    ble  a2, t3, rp_encode
+    li   a2, 767
+rp_encode:
+    mv   a1, a2
+    mv   a2, a3
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    j    encode64              # tail call returns to round_pack's caller
+rp_infinity:
+    li   a0, 0x7800000000000000
+    slli t0, a3, 63
+    or   a0, a0, t0
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    ret
+"
+    )
+}
+
+/// DPD → binary-coefficient decode (the software baseline's path: declet
+/// tables to base-1000 units, then Horner into one binary integer —
+/// "decimal arithmetic realized with binary hardware units").
+const DECODE64_BIN: &str = "
+decode64:
+    srli a2, a0, 63
+    srli t0, a0, 58
+    andi t0, t0, 31
+    srli t1, t0, 3
+    li   t2, 3
+    bne  t1, t2, dbin_small
+    srli t1, t0, 1
+    andi t1, t1, 3
+    andi t3, t0, 1
+    addi t3, t3, 8
+    j    dbin_msd
+dbin_small:
+    andi t3, t0, 7
+dbin_msd:
+    srli t2, a0, 50
+    andi t2, t2, 255
+    slli a1, t1, 8
+    or   a1, a1, t2
+    la   t4, dpd2bin
+    li   t6, 1000
+    mv   t5, t3                # c = msd
+    srli t0, a0, 40
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    mul  t5, t5, t6
+    add  t5, t5, t1
+    srli t0, a0, 30
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    mul  t5, t5, t6
+    add  t5, t5, t1
+    srli t0, a0, 20
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    mul  t5, t5, t6
+    add  t5, t5, t1
+    srli t0, a0, 10
+    andi t0, t0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    mul  t5, t5, t6
+    add  t5, t5, t1
+    andi t0, a0, 1023
+    slli t0, t0, 1
+    add  t0, t0, t4
+    lhu  t1, 0(t0)
+    mul  t5, t5, t6
+    add  t5, t5, t1
+    mv   a0, t5
+    ret
+";
+
+/// Binary coefficient → DPD encode (divide by 1000 per declet — the
+/// expensive binary→decimal conversion Method-1 avoids).
+const ENCODE64_BIN: &str = "
+encode64:
+    la   t5, bin2dpd
+    li   t6, 1000
+    slli t4, a2, 63            # assemble sign/combination later into t4
+    # declet 0
+    remu t0, a0, t6
+    divu a0, a0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    or   t4, t4, t1
+    # declet 1
+    remu t0, a0, t6
+    divu a0, a0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    slli t1, t1, 10
+    or   t4, t4, t1
+    # declet 2
+    remu t0, a0, t6
+    divu a0, a0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    slli t1, t1, 20
+    or   t4, t4, t1
+    # declet 3
+    remu t0, a0, t6
+    divu a0, a0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    slli t1, t1, 30
+    or   t4, t4, t1
+    # declet 4
+    remu t0, a0, t6
+    divu a0, a0, t6
+    slli t0, t0, 1
+    add  t0, t0, t5
+    lhu  t1, 0(t0)
+    slli t1, t1, 40
+    or   t4, t4, t1
+    # a0 now holds the msd
+    srli t1, a1, 8
+    andi t2, a1, 255
+    li   t0, 8
+    blt  a0, t0, ebin_small
+    addi a0, a0, -8
+    slli t1, t1, 1
+    or   a0, a0, t1
+    ori  a0, a0, 24
+    j    ebin_have
+ebin_small:
+    slli t1, t1, 3
+    or   a0, a0, t1
+ebin_have:
+    slli a0, a0, 58
+    or   t4, t4, a0
+    slli t2, t2, 50
+    or   t4, t4, t2
+    mv   a0, t4
+    ret
+";
+
+/// Binary rounding/packing epilogue for the software baseline: digit count
+/// by power-of-ten table scan, 128->64-bit reduction by repeated division by
+/// ten (carry-safe), one combined division for the remaining discard, then
+/// binary encode.
+const ROUND_PACK_BIN: &str = "
+round_pack:
+    addi sp, sp, -16
+    sd   ra, 8(sp)
+    # ---- significant digits n -> t1 (binary 128-bit value in a1:a0) ----
+    li   t1, 0
+    bnez a1, rpb_count_wide
+    la   t2, pow10
+rpb_count64:
+    slli t3, t1, 3
+    add  t3, t3, t2
+    ld   t3, 0(t3)
+    bltu a0, t3, rpb_counted   # a0 < 10^t1 -> n = t1
+    addi t1, t1, 1
+    li   t0, 20
+    blt  t1, t0, rpb_count64
+    j    rpb_counted
+rpb_count_wide:
+    # scan the 128-bit table (10^17 .. 10^33), entries are (lo, hi) pairs
+    la   t2, pow10w
+    li   t1, 17
+rpb_countw_loop:
+    addi t0, t1, -17
+    slli t0, t0, 4
+    add  t0, t0, t2
+    ld   t3, 8(t0)             # table hi
+    ld   t0, 0(t0)             # table lo
+    bltu a1, t3, rpb_counted   # value hi < table hi -> value < 10^t1
+    bne  a1, t3, rpb_countw_ge
+    bltu a0, t0, rpb_counted
+rpb_countw_ge:
+    addi t1, t1, 1
+    li   t0, 34
+    blt  t1, t0, rpb_countw_loop
+rpb_counted:
+    # early overflow: value != 0 and eb + n - 1 > 782
+    or   t0, a0, a1
+    beqz t0, rpb_skip_early
+    add  t3, a2, t1
+    addi t3, t3, -1
+    li   t0, 782
+    bgt  t3, t0, rpb_infinity
+rpb_skip_early:
+    # subnormal_before -> t4 ; discard -> t5
+    add  t3, a2, t1
+    addi t3, t3, -1
+    slti t4, t3, 15
+    addi t5, t1, -16
+    bgez t5, rpb_disc_nonneg
+    li   t5, 0
+rpb_disc_nonneg:
+    beqz t4, rpb_have_discard
+    bgez a2, rpb_have_discard
+    neg  t6, a2
+    bge  t5, t6, rpb_have_discard
+    mv   t5, t6
+rpb_have_discard:
+    beqz t5, rpb_round_done
+    bgt  t5, t1, rpb_all_gone
+    add  a2, a2, t5            # eb += discard up front
+    li   a6, 0                 # most recently removed digit
+    li   a7, 0                 # sticky
+rpb_reduce:
+    beqz t5, rpb_round_decide
+    bnez a1, rpb_reduce_step   # wide value: must reduce digit by digit
+    li   t0, 16
+    ble  t5, t0, rpb_fast      # fits 64 bits and D = 10^t5 fits the table
+rpb_reduce_step:
+    # one digit: (a1:a0) = (a1:a0) / 10, remainder -> t3
+    snez t0, a6
+    or   a7, a7, t0            # previous removed digit joins the sticky
+    li   t0, 10
+    divu t2, a1, t0            # qh
+    remu t3, a1, t0            # r = hi % 10
+    divu t6, a0, t0            # ql
+    remu a0, a0, t0            # rl
+    slli t1, t3, 2
+    slli t0, t3, 1
+    add  t1, t1, t0            # 6r
+    add  t1, t1, a0            # 6r + rl  (<= 63)
+    li   t0, 10
+    divu a1, t1, t0            # (6r + rl) / 10 (reuse a1 briefly)
+    remu a6, t1, t0            # removed digit
+    # new_lo = r*K + ql + (6r+rl)/10 with carries into new_hi
+    li   t0, 1844674407370955161
+    mul  t3, t3, t0            # r*K
+    add  t3, t3, t6
+    sltu t0, t3, t6            # carry 1
+    add  t3, t3, a1
+    sltu t1, t3, a1            # carry 2
+    add  t2, t2, t0
+    add  t2, t2, t1
+    mv   a0, t3
+    mv   a1, t2
+    addi t5, t5, -1
+    j    rpb_reduce
+rpb_fast:
+    snez t0, a6
+    or   a7, a7, t0            # last loop-removed digit is below: sticky
+    la   t0, pow10
+    slli t2, t5, 3
+    add  t2, t2, t0
+    ld   t2, 0(t2)             # D = 10^discard_remaining
+    remu t3, a0, t2            # removed part
+    divu a0, a0, t2            # kept
+    addi t6, t5, -1
+    slli t6, t6, 3
+    add  t6, t6, t0
+    ld   t6, 0(t6)             # D/10
+    divu a6, t3, t6            # round digit
+    remu t0, t3, t6
+    snez t0, t0
+    or   a7, a7, t0
+rpb_round_decide:
+    li   t0, 5
+    bltu a6, t0, rpb_inc_done
+    bne  a6, t0, rpb_increment
+    bnez a7, rpb_increment
+    andi t0, a0, 1
+    beqz t0, rpb_inc_done
+rpb_increment:
+    addi a0, a0, 1
+    li   t0, 0x2386F26FC10000  # 10^16
+    bne  a0, t0, rpb_inc_done
+    li   t0, 0x38D7EA4C68000   # 10^15
+    mv   a0, t0
+    addi a2, a2, 1
+rpb_inc_done:
+    j    rpb_round_done
+rpb_all_gone:
+    li   a0, 0
+    li   a1, 0
+    add  a2, a2, t5
+rpb_round_done:
+    # recount digits of the kept coefficient
+    li   t1, 0
+    la   t2, pow10
+rpb_recount:
+    slli t3, t1, 3
+    add  t3, t3, t2
+    ld   t3, 0(t3)
+    bltu a0, t3, rpb_recounted
+    addi t1, t1, 1
+    li   t0, 20
+    blt  t1, t0, rpb_recount
+rpb_recounted:
+    beqz a0, rpb_zero
+    add  t2, a2, t1
+    addi t2, t2, -1
+    li   t3, 782
+    bgt  t2, t3, rpb_infinity
+    li   t3, 767
+    ble  a2, t3, rpb_encode
+    sub  t2, a2, t3
+    la   t0, pow10
+    slli t2, t2, 3
+    add  t2, t2, t0
+    ld   t2, 0(t2)
+    mul  a0, a0, t2
+    li   a2, 767
+    j    rpb_encode
+rpb_zero:
+    bgez a2, rpb_zero_hi
+    li   a2, 0
+rpb_zero_hi:
+    li   t3, 767
+    ble  a2, t3, rpb_encode
+    li   a2, 767
+rpb_encode:
+    mv   a1, a2
+    mv   a2, a3
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    j    encode64
+rpb_infinity:
+    li   a0, 0x7800000000000000
+    slli t0, a3, 63
+    or   a0, a0, t0
+    ld   ra, 8(sp)
+    addi sp, sp, 16
+    ret
+";

@@ -1,0 +1,179 @@
+//! The Method-1 guest kernel (paper Fig. 1 and §IV-B).
+//!
+//! Software part: specials, sign/exponent, DPD→BCD, rounding, BCD→DPD.
+//! Hardware part: `DEC_ADD`/`DEC_ADC` for the multiplicand multiples and
+//! the partial-product accumulation (or dummy-function calls in the
+//! estimation configuration).
+//!
+//! Register allocation inside `kernel`:
+//! `s4`/`s5` — operand bits, later the MM-table base and the digit shift;
+//! `s6`/`s7` — X/Y coefficients (BCD); `s8` — biased product exponent;
+//! `s9`/`s11` — product hi/lo; `s10` — result sign.
+
+use super::common::{dec_add, dec_adc};
+
+/// The common specials-and-decode prologue shared by all BCD kernels:
+/// NaN/infinity handling on raw bits, then decode of both operands, leaving
+/// the zero check done and registers set up as documented above. Jumps to
+/// `k_core` for finite non-zero operands.
+pub(crate) const PROLOGUE: &str = "
+kernel:
+    addi sp, sp, -96
+    sd   ra, 88(sp)
+    sd   s4, 0(sp)
+    sd   s5, 8(sp)
+    sd   s6, 16(sp)
+    sd   s7, 24(sp)
+    sd   s8, 32(sp)
+    sd   s9, 40(sp)
+    sd   s10, 48(sp)
+    sd   s11, 56(sp)
+    mv   s4, a0
+    mv   s5, a1
+    # ---- Special? ----
+    srli t0, s4, 58
+    andi t0, t0, 31
+    srli t2, s5, 58
+    andi t2, t2, 31
+    li   t1, 31
+    beq  t0, t1, k_x_nan
+    beq  t2, t1, k_y_nan
+    li   t1, 30
+    beq  t0, t1, k_x_inf
+    beq  t2, t1, k_y_inf
+    j    k_finite
+k_x_nan:
+    mv   a0, s4
+    j    k_quiet
+k_y_nan:
+    mv   a0, s5
+k_quiet:
+    # quiet + canonical: clear the exponent-continuation bits 57..50
+    li   t0, 255
+    slli t0, t0, 50
+    not  t0, t0
+    and  a0, a0, t0
+    j    k_return
+k_x_inf:
+    li   t1, 30
+    beq  t2, t1, k_inf_result   # inf x inf
+    mv   a0, s5
+    call is_zero64
+    bnez a0, k_invalid
+    j    k_inf_result
+k_y_inf:
+    mv   a0, s4
+    call is_zero64
+    bnez a0, k_invalid
+k_inf_result:
+    srli t0, s4, 63
+    srli t1, s5, 63
+    xor  t0, t0, t1
+    slli t0, t0, 63
+    li   a0, 0x7800000000000000
+    or   a0, a0, t0
+    j    k_return
+k_invalid:
+    li   a0, 0x7C00000000000000
+    j    k_return
+k_finite:
+    # ---- decode both operands ----
+    mv   a0, s4
+    call decode64
+    mv   s6, a0
+    mv   s8, a1
+    mv   s10, a2
+    mv   a0, s5
+    call decode64
+    mv   s7, a0
+    add  s8, s8, a1
+    addi s8, s8, -398          # biased product exponent
+    xor  s10, s10, a2          # sign
+    bnez s6, k_x_nonzero
+    j    k_zero
+k_x_nonzero:
+    bnez s7, k_core
+k_zero:
+    li   a0, 0
+    li   a1, 0
+    mv   a2, s8
+    mv   a3, s10
+    call round_pack
+    j    k_return
+k_core:
+";
+
+/// The shared epilogue: hand the product to `round_pack` and restore.
+pub(crate) const EPILOGUE: &str = "
+k_pack:
+    mv   a0, s11
+    mv   a1, s9
+    mv   a2, s8
+    mv   a3, s10
+    call round_pack
+k_return:
+    ld   ra, 88(sp)
+    ld   s4, 0(sp)
+    ld   s5, 8(sp)
+    ld   s6, 16(sp)
+    ld   s7, 24(sp)
+    ld   s8, 32(sp)
+    ld   s9, 40(sp)
+    ld   s10, 48(sp)
+    ld   s11, 56(sp)
+    addi sp, sp, 96
+    ret
+";
+
+/// Emits the Method-1 kernel (real RoCC instructions, or dummy calls).
+#[must_use]
+pub(crate) fn kernel(dummy: bool) -> String {
+    let mut core = String::new();
+    // ---- multiplicand multiples MM[0..9] (Fig. 1 left) ----
+    core += "
+    la   s4, mm_table
+    sd   zero, 0(s4)
+    sd   zero, 8(s4)
+    sd   s6, 16(s4)
+    sd   zero, 24(s4)
+    li   t5, 8
+    addi t6, s4, 16
+m1_mm_loop:
+    ld   a0, 0(t6)
+    ld   a1, 8(t6)
+";
+    core += &dec_add("a0", "a0", "s6", dummy);
+    core += &dec_adc("a1", "a1", "zero", dummy);
+    core += "
+    sd   a0, 16(t6)
+    sd   a1, 24(t6)
+    addi t6, t6, 16
+    addi t5, t5, -1
+    bnez t5, m1_mm_loop
+";
+    // ---- accumulate shifted partial products (Fig. 1 right) ----
+    core += "
+    li   s9, 0
+    li   s11, 0
+    li   s5, 60
+m1_acc_loop:
+    srli t0, s11, 60
+    slli s9, s9, 4
+    or   s9, s9, t0
+    slli s11, s11, 4
+    srl  t0, s7, s5
+    andi t0, t0, 15
+    slli t0, t0, 4
+    add  t0, t0, s4
+    ld   a0, 0(t0)
+    ld   a1, 8(t0)
+";
+    core += &dec_add("s11", "s11", "a0", dummy);
+    core += &dec_adc("s9", "s9", "a1", dummy);
+    core += "
+    addi s5, s5, -4
+    bgez s5, m1_acc_loop
+    j    k_pack
+";
+    format!("{PROLOGUE}{core}{EPILOGUE}")
+}

@@ -1,0 +1,84 @@
+//! The deeper-offload guest kernels (Methods 2–4).
+//!
+//! All three share Method-1's software prologue/epilogue; only the
+//! coefficient-product core differs:
+//!
+//! * Method-2 keeps the multiples table in the accelerator register file
+//!   (`DEC_ADD_R` builds it; `DEC_ACCUM` folds one multiplier digit per
+//!   command; only two reads return the product).
+//! * Method-3 needs no table at all: `DEC_MULD` multiplies the latched
+//!   multiplicand by each digit and accumulates.
+//! * Method-4 performs the whole coefficient multiplication with one
+//!   `DEC_MUL`.
+
+use super::method1::{EPILOGUE, PROLOGUE};
+
+/// Method-2 core: multiples table inside the accelerator.
+#[must_use]
+pub(crate) fn kernel_method2() -> String {
+    let mut core = String::new();
+    core += "
+    # CLR_ALL, then X into accelerator register 1
+    custom0 5, zero, zero, zero, 0, 0, 0
+    custom0 0, zero, s6, x1, 0, 1, 0
+    # multiples 2X..9X built register-to-register (no core traffic)
+    custom0 10, x2, x1, x1, 0, 0, 0
+    custom0 10, x3, x2, x1, 0, 0, 0
+    custom0 10, x4, x3, x1, 0, 0, 0
+    custom0 10, x5, x4, x1, 0, 0, 0
+    custom0 10, x6, x5, x1, 0, 0, 0
+    custom0 10, x7, x6, x1, 0, 0, 0
+    custom0 10, x8, x7, x1, 0, 0, 0
+    custom0 10, x9, x8, x1, 0, 0, 0
+    # Horner accumulation: one DEC_ACCUM per multiplier digit
+    li   s5, 60
+m2_acc_loop:
+    srl  t0, s7, s5
+    andi t0, t0, 15
+    custom0 8, zero, t0, zero, 0, 1, 0
+    addi s5, s5, -4
+    bgez s5, m2_acc_loop
+    # read the accumulator (register 15): low then high half
+    custom0 1, s11, x15, zero, 1, 0, 0
+    custom0 1, s9, x31, zero, 1, 0, 0
+    j    k_pack
+";
+    format!("{PROLOGUE}{core}{EPILOGUE}")
+}
+
+/// Method-3 core: hardware digit multiply-accumulate.
+#[must_use]
+pub(crate) fn kernel_method3() -> String {
+    let mut core = String::new();
+    core += "
+    custom0 5, zero, zero, zero, 0, 0, 0
+    custom0 0, zero, s6, x1, 0, 1, 0
+    li   s5, 60
+m3_acc_loop:
+    srl  t0, s7, s5
+    andi t0, t0, 15
+    custom0 11, zero, t0, zero, 0, 1, 0
+    addi s5, s5, -4
+    bgez s5, m3_acc_loop
+    custom0 1, s11, x15, zero, 1, 0, 0
+    custom0 1, s9, x31, zero, 1, 0, 0
+    j    k_pack
+";
+    format!("{PROLOGUE}{core}{EPILOGUE}")
+}
+
+/// Method-4 core: full coefficient multiplication in hardware.
+#[must_use]
+pub(crate) fn kernel_method4() -> String {
+    let mut core = String::new();
+    core += "
+    custom0 5, zero, zero, zero, 0, 0, 0
+    custom0 0, zero, s6, x1, 0, 1, 0
+    custom0 0, zero, s7, x2, 0, 1, 0
+    custom0 7, zero, x1, x2, 0, 0, 0
+    custom0 1, s11, x15, zero, 1, 0, 0
+    custom0 1, s9, x31, zero, 1, 0, 0
+    j    k_pack
+";
+    format!("{PROLOGUE}{core}{EPILOGUE}")
+}

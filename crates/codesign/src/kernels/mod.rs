@@ -1,0 +1,147 @@
+//! RISC-V guest kernels for every evaluated configuration.
+//!
+//! Each kernel is a function `kernel` with the calling convention the test
+//! driver uses: decimal64 interchange bits of the operands in `a0`/`a1`,
+//! result bits returned in `a0`. The kernels are emitted as assembly text
+//! and built with the in-tree assembler — real RV64IM machine code, the same
+//! role the GCC cross-compiler plays in the paper's framework.
+//!
+//! Configurations:
+//!
+//! * [`KernelKind::Software`] — the decNumber-style software baseline:
+//!   DPD→unit decode (base-1000 units, one per declet), schoolbook
+//!   unit-array multiplication in memory, decimal rounding by division,
+//!   binary→DPD encode. No custom instructions.
+//! * [`KernelKind::SoftwareBid`] — a second software baseline in the style
+//!   of Intel's BID library: binary coefficients, one `mul`/`mulhu`
+//!   product. Faster than decNumber-style; used as an ablation point.
+//! * [`KernelKind::Method1`] — the paper's Method-1: DPD→BCD decode, the
+//!   multiplicand-multiples table built with `DEC_ADD`/`DEC_ADC`, Horner
+//!   accumulation of partial products, BCD rounding, BCD→DPD encode. "No
+//!   binary conversion is required."
+//! * [`KernelKind::Method1Dummy`] — Method-1 with every accelerator call
+//!   replaced by a call to a dummy function with a fixed return (the prior
+//!   art's estimation methodology; results are wrong by design).
+//! * [`KernelKind::Method2`]/[`KernelKind::Method3`]/[`KernelKind::Method4`] — the deeper-offload
+//!   design points (multiples table inside the accelerator; digit
+//!   multiply-accumulate; full hardware multiply).
+
+mod common;
+mod method1;
+mod methods234;
+mod softmul;
+mod tables;
+
+pub use tables::data_tables;
+
+/// Which kernel to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// decNumber-style pure-software multiplication (unit arrays).
+    Software,
+    /// Binary-encoding-style (Intel BID-like) software multiplication — a
+    /// second software baseline used for ablation.
+    SoftwareBid,
+    /// Method-1 with real RoCC instructions.
+    Method1,
+    /// Method-1 with dummy functions instead of hardware.
+    Method1Dummy,
+    /// Method-2: multiples table kept in the accelerator register file.
+    Method2,
+    /// Method-3: digit multiply-accumulate in hardware.
+    Method3,
+    /// Method-4: full coefficient multiplication in hardware.
+    Method4,
+}
+
+impl KernelKind {
+    /// All kernels, software baseline first.
+    pub const ALL: [KernelKind; 7] = [
+        KernelKind::Software,
+        KernelKind::SoftwareBid,
+        KernelKind::Method1,
+        KernelKind::Method1Dummy,
+        KernelKind::Method2,
+        KernelKind::Method3,
+        KernelKind::Method4,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Software => "Software (decNumber-style)",
+            KernelKind::SoftwareBid => "Software (BID-style)",
+            KernelKind::Method1 => "Method-1",
+            KernelKind::Method1Dummy => "Method-1 (dummy functions)",
+            KernelKind::Method2 => "Method-2",
+            KernelKind::Method3 => "Method-3",
+            KernelKind::Method4 => "Method-4",
+        }
+    }
+
+    /// True if this kernel issues real RoCC instructions (needs the
+    /// accelerator attached).
+    #[must_use]
+    pub fn uses_accelerator(self) -> bool {
+        !matches!(
+            self,
+            KernelKind::Software | KernelKind::SoftwareBid | KernelKind::Method1Dummy
+        )
+    }
+
+    /// True if results are expected to be wrong (dummy estimation runs).
+    #[must_use]
+    pub fn results_are_dummy(self) -> bool {
+        self == KernelKind::Method1Dummy
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Emits the complete kernel source for `kind`: the `kernel` entry, its
+/// helper subroutines, and the `.data` tables and scratch space it needs.
+/// Concatenate with a driver (see [`testgen::driver_source`]) and assemble.
+#[must_use]
+pub fn kernel_source(kind: KernelKind) -> String {
+    let mut out = String::from("    .text\n");
+    match kind {
+        KernelKind::Software => {
+            out += &softmul::kernel_decnumber();
+            out += &common::subroutines_binary();
+        }
+        KernelKind::SoftwareBid => {
+            out += &softmul::kernel_bid();
+            out += &common::subroutines_binary();
+        }
+        KernelKind::Method1 | KernelKind::Method1Dummy => {
+            let dummy = kind == KernelKind::Method1Dummy;
+            out += &method1::kernel(dummy);
+            out += &common::subroutines_bcd(dummy);
+            if dummy {
+                out += common::DUMMY_FUNCTIONS;
+            }
+        }
+        KernelKind::Method2 => {
+            out += &methods234::kernel_method2();
+            out += &common::subroutines_bcd(false);
+        }
+        KernelKind::Method3 => {
+            out += &methods234::kernel_method3();
+            out += &common::subroutines_bcd(false);
+        }
+        KernelKind::Method4 => {
+            out += &methods234::kernel_method4();
+            out += &common::subroutines_bcd(false);
+        }
+    }
+    out += &tables::data_tables(kind);
+    out
+}
+
+#[cfg(test)]
+mod kernel_tests;

@@ -1,0 +1,144 @@
+//! The software-baseline guest kernels.
+//!
+//! [`kernel_decnumber`] reproduces the IBM decNumber algorithm the paper
+//! compares against: coefficients unpack from DPD into base-1000 *units*
+//! (decNumber's `DECDPUN=3` configuration — one unit per declet), a
+//! schoolbook unit-array multiplication accumulates in memory with
+//! carry-splitting by 1000 (the magic-multiply sequence a C compiler emits
+//! for `/1000`), and rounding walks decimal digits off with divisions.
+//!
+//! [`kernel_bid`] is a second, binary-encoding-style baseline (the approach
+//! of Intel's BID library): coefficients become single binary integers, the
+//! product is one `mul`/`mulhu` pair, and all decimal structure is
+//! recovered by division. It is considerably faster and serves as an
+//! ablation point; the paper's baseline is decNumber.
+
+/// The decNumber-style software kernel.
+#[must_use]
+pub(crate) fn kernel_decnumber() -> String {
+    let prologue = super::method1::PROLOGUE;
+    let epilogue = super::method1::EPILOGUE;
+    // Unpack one operand's units from raw bits in `{bits}` to the array at
+    // label `{arr}` (6 dword units, base 1000, least significant first).
+    let unpack = |bits: &str, arr: &str, tag: &str| {
+        let mut s = String::new();
+        s += &format!("    la   t4, {arr}\n    la   t5, dpd2bin\n");
+        for i in 0..5 {
+            if i == 0 {
+                s += &format!("    andi t0, {bits}, 1023\n");
+            } else {
+                s += &format!("    srli t0, {bits}, {}\n    andi t0, t0, 1023\n", 10 * i);
+            }
+            s += "    slli t0, t0, 1\n    add  t0, t0, t5\n    lhu  t1, 0(t0)\n";
+            s += &format!("    sd   t1, {}(t4)\n", 8 * i);
+        }
+        // Unit 5 is the MSD from the combination field.
+        s += &format!(
+            "    srli t0, {bits}, 58
+    andi t0, t0, 31
+    srli t1, t0, 3
+    li   t2, 3
+    bne  t1, t2, sm_small_msd_{tag}
+    andi t3, t0, 1
+    addi t3, t3, 8
+    j    sm_have_msd_{tag}
+sm_small_msd_{tag}:
+    andi t3, t0, 7
+sm_have_msd_{tag}:
+    sd   t3, 40(t4)\n"
+        );
+        s
+    };
+    let core = format!(
+        "
+    # ---- decNumber-style unit-array multiplication ----
+{unpack_x}{unpack_y}
+    la   t4, acc_units
+    sd   zero, 0(t4)
+    sd   zero, 8(t4)
+    sd   zero, 16(t4)
+    sd   zero, 24(t4)
+    sd   zero, 32(t4)
+    sd   zero, 40(t4)
+    sd   zero, 48(t4)
+    sd   zero, 56(t4)
+    sd   zero, 64(t4)
+    sd   zero, 72(t4)
+    sd   zero, 80(t4)
+    sd   zero, 88(t4)
+    la   s4, x_units
+    la   s5, y_units
+    li   t5, 0                 # i * 8
+sm_outer:
+    add  t0, s4, t5
+    ld   t6, 0(t0)             # x unit i
+    li   t1, 0                 # j * 8
+    li   t2, 0                 # carry
+sm_inner:
+    add  t0, s5, t1
+    ld   t3, 0(t0)             # y unit j
+    mul  t3, t3, t6
+    add  t0, t5, t1
+    add  t0, t0, t4
+    ld   a6, 0(t0)
+    add  t3, t3, a6
+    add  t3, t3, t2            # t < 10^6
+    # carry = t / 1000 via the compiler's magic multiply
+    li   a7, 2199023256
+    mul  t2, t3, a7
+    srli t2, t2, 41
+    li   a7, 1000
+    mul  a6, t2, a7
+    sub  t3, t3, a6            # t % 1000
+    sd   t3, 0(t0)
+    addi t1, t1, 8
+    li   a7, 48
+    bne  t1, a7, sm_inner
+    # the row's final carry lands in acc[i+6]
+    add  t0, t5, t1
+    add  t0, t0, t4
+    sd   t2, 0(t0)
+sm_outer_next:
+    addi t5, t5, 8
+    li   a7, 48
+    bne  t5, a7, sm_outer
+    # ---- units -> 128-bit binary coefficient (Horner by 1000) ----
+    li   a0, 0
+    li   a1, 0
+    li   t1, 88
+sm_horner:
+    li   t0, 1000
+    mulhu t2, a0, t0
+    mul  a0, a0, t0
+    mul  a1, a1, t0
+    add  a1, a1, t2
+    add  t0, t4, t1
+    ld   t0, 0(t0)
+    add  a0, a0, t0
+    sltu t2, a0, t0
+    add  a1, a1, t2
+    addi t1, t1, -8
+    bgez t1, sm_horner
+    mv   s11, a0
+    mv   s9, a1
+    j    k_pack
+",
+        unpack_x = unpack("s4", "x_units", "x"),
+        unpack_y = unpack("s5", "y_units", "y"),
+    );
+    format!("{prologue}{core}{epilogue}")
+}
+
+/// The binary-path (BID-style) software kernel: one `mul`/`mulhu` product.
+#[must_use]
+pub(crate) fn kernel_bid() -> String {
+    let prologue = super::method1::PROLOGUE;
+    let epilogue = super::method1::EPILOGUE;
+    let core = "
+    # ---- binary coefficient product: one mul + one mulhu ----
+    mul   s11, s6, s7
+    mulhu s9, s6, s7
+    j     k_pack
+";
+    format!("{prologue}{core}{epilogue}")
+}

@@ -1,0 +1,136 @@
+//! Guest-side lookup tables and scratch memory.
+//!
+//! The kernels use the same in-memory tables decNumber does: declet ⇄
+//! packed-BCD for the BCD path, declet ⇄ binary and powers of ten for the
+//! binary (software-baseline) path.
+
+use std::fmt::Write as _;
+
+use super::KernelKind;
+
+fn emit_u16_table(out: &mut String, label: &str, values: impl Iterator<Item = u16>) {
+    let _ = writeln!(out, ".align 3\n{label}:");
+    let values: Vec<u16> = values.collect();
+    for chunk in values.chunks(8) {
+        let row: Vec<String> = chunk.iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(out, "    .half {}", row.join(", "));
+    }
+}
+
+/// Emits the `.data` tables and scratch space kernel `kind` requires.
+#[must_use]
+pub fn data_tables(kind: KernelKind) -> String {
+    let mut out = String::from("\n    .data\n");
+    match kind {
+        KernelKind::Software | KernelKind::SoftwareBid => {
+            emit_u16_table(
+                &mut out,
+                "dpd2bin",
+                (0..1024u16).map(dpd::declet::decode_declet_bin),
+            );
+            emit_u16_table(
+                &mut out,
+                "bin2dpd",
+                (0..1000u16).map(dpd::declet::encode_declet_bin),
+            );
+            // 10^0 .. 10^19 as u64.
+            out += ".align 3\npow10:\n";
+            let mut p: u128 = 1;
+            for _ in 0..20 {
+                let _ = writeln!(out, "    .dword {}", p as u64);
+                p *= 10;
+            }
+            // 10^17 .. 10^33 as (lo, hi) u64 pairs.
+            out += ".align 3\npow10w:\n";
+            let mut p: u128 = 10u128.pow(17);
+            for _ in 17..34 {
+                let _ = writeln!(out, "    .dword {}, {}", p as u64, (p >> 64) as u64);
+                p *= 10;
+            }
+            if kind == KernelKind::Software {
+                // decNumber-style unit arrays: 6 + 6 + 12 dword units.
+                out += ".align 3\nx_units:\n    .space 48\ny_units:\n    .space 48\nacc_units:\n    .space 96\n";
+            }
+        }
+        _ => {
+            emit_u16_table(
+                &mut out,
+                "dpd2bcd",
+                (0..1024u16).map(dpd::declet::decode_declet_bcd),
+            );
+            // Indexed by twelve packed-BCD bits; invalid nibble combinations
+            // map to zero and are never consulted.
+            emit_u16_table(
+                &mut out,
+                "bcd2dpd",
+                (0..4096u16).map(|bcd| {
+                    let (d2, d1, d0) = ((bcd >> 8) & 0xF, (bcd >> 4) & 0xF, bcd & 0xF);
+                    if d2 <= 9 && d1 <= 9 && d0 <= 9 {
+                        dpd::declet::encode_declet(d2 as u8, d1 as u8, d0 as u8)
+                    } else {
+                        0
+                    }
+                }),
+            );
+            if matches!(kind, KernelKind::Method1 | KernelKind::Method1Dummy) {
+                // Multiplicand-multiples table: MM[0..9] as (lo, hi) pairs.
+                out += ".align 3\nmm_table:\n    .space 160\n";
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_assemble() {
+        for kind in KernelKind::ALL {
+            let src = format!("start:\n    nop\n{}", data_tables(kind));
+            riscv_asm::assemble(&src).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn software_tables_have_expected_sizes() {
+        let src = format!("start:\n    nop\n{}", data_tables(KernelKind::Software));
+        let program = riscv_asm::assemble(&src).unwrap();
+        let base = program.symbol("dpd2bin").unwrap();
+        assert_eq!(program.symbol("bin2dpd").unwrap() - base, 2048);
+        // Check one declet entry via memory contents.
+        let off = (base - program.data.base) as usize;
+        // declet for 999 is 0b0011111111 = 255? verify against the library.
+        let declet999 = dpd::declet::encode_declet_bin(999);
+        let bin_off = (program.symbol("bin2dpd").unwrap() - program.data.base) as usize
+            + 999 * 2;
+        let stored = u16::from_le_bytes([
+            program.data.data[bin_off],
+            program.data.data[bin_off + 1],
+        ]);
+        assert_eq!(stored, declet999);
+        let _ = off;
+    }
+
+    #[test]
+    fn bcd_tables_roundtrip_in_memory() {
+        let src = format!("start:\n    nop\n{}", data_tables(KernelKind::Method1));
+        let program = riscv_asm::assemble(&src).unwrap();
+        let d2b = program.symbol("dpd2bcd").unwrap();
+        let b2d = program.symbol("bcd2dpd").unwrap();
+        let read16 = |addr: u64| {
+            let off = (addr - program.data.base) as usize;
+            u16::from_le_bytes([program.data.data[off], program.data.data[off + 1]])
+        };
+        for declet in [0u16, 5, 0x3FF, 0x2A5] {
+            let bcd = read16(d2b + u64::from(declet) * 2);
+            let back = read16(b2d + u64::from(bcd) * 2);
+            assert_eq!(
+                dpd::declet::decode_declet_bcd(back),
+                dpd::declet::decode_declet_bcd(declet),
+                "declet {declet:#x}"
+            );
+        }
+    }
+}

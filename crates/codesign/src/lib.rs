@@ -1,0 +1,67 @@
+//! Software-hardware co-design of decimal multiplication, and the
+//! cycle-accurate evaluation framework around it.
+//!
+//! This is the paper's contribution crate. It contains:
+//!
+//! * [`backend`] — the accelerator abstraction (real BCD-CLA model, software
+//!   stand-in, and the prior art's *dummy functions*);
+//! * [`native`] — host-speed implementations: the decNumber-style software
+//!   baseline, Method-1 of the co-design (paper Fig. 1), and a
+//!   Method-1-style *addition* (`method1_add`) showing the same split
+//!   serves the other operation class the test generator offers;
+//! * [`kernels`] — RISC-V guest kernels for every configuration, generated
+//!   as assembly and built with the in-tree assembler: the software
+//!   baseline, Method-1 with real RoCC instructions, Method-1 with dummy
+//!   functions, and the deeper-offload Methods 2–4;
+//! * [`framework`] — the evaluation framework: builds guest programs from
+//!   the test generator's vectors, runs them on the cycle-accurate
+//!   Rocket-like core (SW/HW cycle split — Table IV), on the Gem5-like
+//!   atomic CPU (Table VI), and natively on the host (Table V), verifying
+//!   results against the `decnum` oracle;
+//! * [`report`] — table formatters that regenerate the paper's tables.
+//!
+//! # Example
+//!
+//! ```
+//! use codesign::native::{method1_multiply_accel, software_multiply};
+//! use decnum::Status;
+//!
+//! let x = codesign::parse_decimal64("902.4").unwrap();
+//! let y = codesign::parse_decimal64("11.1").unwrap();
+//! let mut s1 = Status::CLEAR;
+//! let mut s2 = Status::CLEAR;
+//! assert_eq!(
+//!     method1_multiply_accel(x, y, &mut s1).to_bits(),
+//!     software_multiply(x, y, &mut s2).to_bits(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod framework;
+pub mod kernels;
+pub mod native;
+pub mod report;
+
+use decnum::{Context, DecNumber};
+use dpd::Decimal64;
+
+/// Parses a decimal literal into a decimal64 interchange value
+/// (context-rounded with the format's defaults).
+///
+/// # Errors
+///
+/// Returns the underlying parse error for malformed input.
+pub fn parse_decimal64(s: &str) -> Result<Decimal64, decnum::ParseDecError> {
+    let n: DecNumber = s.parse()?;
+    let mut ctx = Context::decimal64();
+    Ok(n.to_decimal64(&mut ctx))
+}
+
+/// Formats a decimal64 interchange value as a scientific string.
+#[must_use]
+pub fn format_decimal64(d: Decimal64) -> String {
+    DecNumber::from_decimal64(d).to_sci_string()
+}

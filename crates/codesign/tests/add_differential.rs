@@ -1,0 +1,161 @@
+//! Differential test for the addition co-design path: `method1_add` with
+//! the real accelerator backend must match the decNumber-style reference —
+//! bits and flags — across the Add-operation verification database and
+//! random operand pairs.
+
+use codesign::backend::ClaBackend;
+use codesign::native::{method1_add, software_add};
+use decnum::Status;
+use dpd::Decimal64;
+use proptest::prelude::*;
+use testgen::{generate, CaseClass, Operation, TestConfig};
+
+fn check(x: Decimal64, y: Decimal64) {
+    let mut ref_status = Status::CLEAR;
+    let expected = software_add(x, y, &mut ref_status);
+    let mut got_status = Status::CLEAR;
+    let got = method1_add(x, y, &mut ClaBackend::new(), &mut got_status);
+    assert_eq!(
+        got.to_bits(),
+        expected.to_bits(),
+        "{} + {}: got {} want {}",
+        codesign::format_decimal64(x),
+        codesign::format_decimal64(y),
+        codesign::format_decimal64(got),
+        codesign::format_decimal64(expected),
+    );
+    assert_eq!(
+        got_status, ref_status,
+        "{} + {} flags",
+        codesign::format_decimal64(x),
+        codesign::format_decimal64(y)
+    );
+}
+
+fn check_str(xs: &str, ys: &str) {
+    let x = codesign::parse_decimal64(xs).unwrap();
+    let y = codesign::parse_decimal64(ys).unwrap();
+    check(x, y);
+    check(y, x);
+}
+
+#[test]
+fn handpicked_addition_cases() {
+    check_str("12", "7.00");
+    check_str("1E+2", "1E+4");
+    check_str("0.1", "0.2");
+    check_str("1.3", "-1.07");
+    check_str("1.3", "-1.30");
+    check_str("1.3", "-2.07");
+    check_str("1", "-1E-16");
+    check_str("1", "-1E-30");
+    check_str("1E+20", "1E-20");
+    check_str("9999999999999999", "1");
+    check_str("9999999999999999", "0.5");
+    check_str("9999999999999999", "-0.5");
+    check_str("0", "0");
+    check_str("-0", "0");
+    check_str("-0", "-0");
+    check_str("0E+5", "0E-3");
+    check_str("5", "0E+2");
+    check_str("1E-398", "1E-398");
+    check_str("1E-398", "-1E-398");
+    check_str("9.999999999999999E+384", "1E+369");
+    check_str("9.999999999999999E+384", "-1E+369");
+    check_str("NaN", "5");
+    check_str("NaN123", "Infinity");
+    check_str("Infinity", "-Infinity");
+    check_str("Infinity", "5");
+    check_str("-Infinity", "-Infinity");
+}
+
+#[test]
+fn addition_verification_database() {
+    let config = TestConfig {
+        operation: Operation::Add,
+        count: 400,
+        class_mix: vec![
+            (CaseClass::Normal, 1),
+            (CaseClass::Rounding, 1),
+            (CaseClass::Overflow, 1),
+            (CaseClass::Underflow, 1),
+            (CaseClass::Clamping, 1),
+        ],
+        ..TestConfig::default()
+    };
+    for vector in generate(&config) {
+        let (xb, yb) = vector.to_decimal64_bits();
+        check(Decimal64::from_bits(xb), Decimal64::from_bits(yb));
+    }
+}
+
+fn operand() -> impl Strategy<Value = Decimal64> {
+    (
+        0u64..=9_999_999_999_999_999,
+        -398i32..=369,
+        any::<bool>(),
+    )
+        .prop_map(|(coeff, exp, neg)| {
+            let bcd = bcd::Bcd64::from_value(coeff).unwrap();
+            Decimal64::from_parts(
+                if neg {
+                    dpd::Sign::Negative
+                } else {
+                    dpd::Sign::Positive
+                },
+                bcd,
+                exp,
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 400, ..ProptestConfig::default() })]
+
+    #[test]
+    fn addition_matches_reference_on_random_operands(x in operand(), y in operand()) {
+        check(x, y);
+    }
+
+    #[test]
+    fn addition_near_cancellation(
+        coeff in 0u64..=9_999_999_999_999_999,
+        exp in -50i32..=50,
+        delta in 0u64..=9,
+    ) {
+        // x and -y nearly equal: the catastrophic-cancellation corner.
+        let x = Decimal64::from_parts(
+            dpd::Sign::Positive,
+            bcd::Bcd64::from_value(coeff).unwrap(),
+            exp,
+        )
+        .unwrap();
+        let y = Decimal64::from_parts(
+            dpd::Sign::Negative,
+            bcd::Bcd64::from_value(coeff.saturating_add(delta).min(9_999_999_999_999_999)).unwrap(),
+            exp,
+        )
+        .unwrap();
+        check(x, y);
+    }
+}
+
+#[test]
+fn addition_backend_call_shape() {
+    use codesign::backend::AccelBackend;
+    // Effective addition: exactly 2 wide-add backend calls; effective
+    // subtraction: 4 (complement+1, then add), +2 more when sticky borrows,
+    // +1 for a rounding increment.
+    let x = codesign::parse_decimal64("1234.5").unwrap();
+    let y = codesign::parse_decimal64("678.9").unwrap();
+    let mut backend = ClaBackend::new();
+    let mut s = Status::CLEAR;
+    let _ = method1_add(x, y, &mut backend, &mut s);
+    assert_eq!(backend.calls(), 2, "same-sign add is one wide CLA pass");
+
+    let y_neg = codesign::parse_decimal64("-678.9").unwrap();
+    let mut backend = ClaBackend::new();
+    let _ = method1_add(x, y_neg, &mut backend, &mut s);
+    assert_eq!(backend.calls(), 4, "effective subtract is two wide passes");
+}

@@ -1,0 +1,87 @@
+//! Differential test: native Method-1 (with the real accelerator model)
+//! must be bit-identical — result and status flags — to the decNumber-style
+//! reference across the whole verification database.
+
+use codesign::native::{method1_multiply, software_multiply};
+use codesign::backend::{AccelBackend, ClaBackend, SoftwareBackend};
+use decnum::Status;
+use dpd::Decimal64;
+use testgen::{verification_database, CaseClass, TestConfig};
+
+fn db(count: usize, seed: u64) -> Vec<(Decimal64, Decimal64, CaseClass, u64, Status)> {
+    let config = TestConfig {
+        count,
+        seed,
+        class_mix: vec![
+            (CaseClass::Normal, 1),
+            (CaseClass::Rounding, 1),
+            (CaseClass::Overflow, 1),
+            (CaseClass::Underflow, 1),
+            (CaseClass::Clamping, 1),
+            (CaseClass::Special, 1),
+        ],
+        ..TestConfig::default()
+    };
+    verification_database(&config)
+        .into_iter()
+        .map(|(v, _)| {
+            let (xb, yb) = v.to_decimal64_bits();
+            let x = Decimal64::from_bits(xb);
+            let y = Decimal64::from_bits(yb);
+            // Golden from the interchange-level reference (the encoded
+            // operands may differ from the abstract ones by clamping).
+            let mut status = Status::CLEAR;
+            let golden = software_multiply(x, y, &mut status);
+            (x, y, v.class, golden.to_bits(), status)
+        })
+        .collect()
+}
+
+#[test]
+fn method1_accel_matches_reference_across_database() {
+    let mut checked = 0;
+    for (x, y, class, golden_bits, golden_status) in db(600, 20190717) {
+        let mut backend = ClaBackend::new();
+        let mut status = Status::CLEAR;
+        let got = method1_multiply(x, y, &mut backend, &mut status);
+        assert_eq!(
+            got.to_bits(),
+            golden_bits,
+            "{class}: {} × {} -> got {} want {}",
+            codesign::format_decimal64(x),
+            codesign::format_decimal64(y),
+            codesign::format_decimal64(got),
+            codesign::format_decimal64(Decimal64::from_bits(golden_bits)),
+        );
+        assert_eq!(status, golden_status, "{class}: {x:?} × {y:?} flags");
+        checked += 1;
+    }
+    assert_eq!(checked, 600);
+}
+
+#[test]
+fn method1_software_backend_matches_too() {
+    for (x, y, class, golden_bits, _) in db(300, 7) {
+        let mut backend = SoftwareBackend::new();
+        let mut status = Status::CLEAR;
+        let got = method1_multiply(x, y, &mut backend, &mut status);
+        assert_eq!(got.to_bits(), golden_bits, "{class}");
+    }
+}
+
+#[test]
+fn hardware_invocations_bounded() {
+    // Method-1 uses exactly 16 adds for the multiples table, 32 for the
+    // accumulation, and at most 1 rounding increment — for every finite
+    // non-zero input.
+    for (x, y, _, _, _) in db(200, 99) {
+        if !x.is_finite() || !y.is_finite() {
+            continue;
+        }
+        let mut backend = ClaBackend::new();
+        let mut status = Status::CLEAR;
+        let _ = method1_multiply(x, y, &mut backend, &mut status);
+        let calls = backend.calls();
+        assert!(calls == 0 || (48..=49).contains(&calls), "calls = {calls}");
+    }
+}

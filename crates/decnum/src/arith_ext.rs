@@ -1,0 +1,368 @@
+//! Extended operations: fused multiply-add, min/max, integral rounding,
+//! exponent manipulation — the remainder of the General Decimal Arithmetic
+//! operation set a decNumber replacement is expected to provide.
+
+use std::cmp::Ordering;
+
+use dpd::Sign;
+
+use crate::arith::{handle_nan_binary, handle_nan_unary};
+use crate::context::{Context, Status};
+use crate::number::{DecNumber, Kind};
+
+/// NaN handling across three operands (for fma).
+fn handle_nan_ternary(
+    a: &DecNumber,
+    b: &DecNumber,
+    c: &DecNumber,
+    ctx: &mut Context,
+) -> Option<DecNumber> {
+    if !(a.is_nan() || b.is_nan() || c.is_nan()) {
+        return None;
+    }
+    if a.is_snan() || b.is_snan() || c.is_snan() {
+        ctx.raise(Status::INVALID_OPERATION);
+    }
+    let source = [a, b, c].into_iter().find(|n| n.is_nan()).expect("a nan");
+    let mut out = source.clone();
+    out.kind = Kind::Nan { signaling: false };
+    Some(out)
+}
+
+impl DecNumber {
+    /// Fused multiply-add: `self × other + addend` with a single rounding.
+    #[must_use]
+    pub fn fma(&self, other: &DecNumber, addend: &DecNumber, ctx: &mut Context) -> DecNumber {
+        if let Some(n) = handle_nan_ternary(self, other, addend, ctx) {
+            return n;
+        }
+        // Compute the product exactly: a working context wide enough that
+        // the coefficient product cannot round.
+        let product_digits = (self.ndigits() + other.ndigits()).max(1);
+        let mut exact = Context::with_precision(product_digits + 2);
+        let product = self.mul(other, &mut exact);
+        if exact.status().contains(Status::INVALID_OPERATION) {
+            ctx.raise(Status::INVALID_OPERATION);
+            return DecNumber::nan();
+        }
+        debug_assert!(
+            !exact.status().contains(Status::INEXACT),
+            "product must be exact"
+        );
+        product.add(addend, ctx)
+    }
+
+    /// IEEE `maxNum`: the larger operand; a quiet NaN loses to a number.
+    #[must_use]
+    pub fn max(&self, other: &DecNumber, ctx: &mut Context) -> DecNumber {
+        min_max(self, other, ctx, true)
+    }
+
+    /// IEEE `minNum`: the smaller operand; a quiet NaN loses to a number.
+    #[must_use]
+    pub fn min(&self, other: &DecNumber, ctx: &mut Context) -> DecNumber {
+        min_max(self, other, ctx, false)
+    }
+
+    /// Rounds to an integral value using the context rounding mode, without
+    /// raising inexact/rounded (IEEE `round-to-integral-value`).
+    #[must_use]
+    pub fn to_integral_value(&self, ctx: &mut Context) -> DecNumber {
+        let mut quiet = ctx.clone();
+        quiet.clear_status();
+        let result = self.to_integral_exact(&mut quiet);
+        // Propagate only invalid-operation (from sNaN), not rounding flags.
+        if quiet.status().contains(Status::INVALID_OPERATION) {
+            ctx.raise(Status::INVALID_OPERATION);
+        }
+        result
+    }
+
+    /// Rounds to an integral value, raising `ROUNDED`/`INEXACT` as
+    /// appropriate (IEEE `round-to-integral-exact`).
+    #[must_use]
+    pub fn to_integral_exact(&self, ctx: &mut Context) -> DecNumber {
+        if let Some(n) = handle_nan_unary(self, ctx) {
+            return n;
+        }
+        if self.is_infinite() {
+            return self.clone();
+        }
+        if self.exponent >= 0 {
+            return self.clone();
+        }
+        let mut digits = self.digits.clone();
+        let discard = (-self.exponent) as usize;
+        let (rounded, inexact) =
+            crate::round::round_off(&mut digits, discard, ctx.rounding, self.sign);
+        if rounded {
+            ctx.raise(Status::ROUNDED);
+        }
+        if inexact {
+            ctx.raise(Status::INEXACT);
+        }
+        DecNumber {
+            sign: self.sign,
+            kind: Kind::Finite,
+            digits,
+            exponent: 0,
+        }
+    }
+
+    /// Adds an integer to the exponent (IEEE `scaleB`).
+    #[must_use]
+    pub fn scaleb(&self, scale: &DecNumber, ctx: &mut Context) -> DecNumber {
+        if let Some(n) = handle_nan_binary(self, scale, ctx) {
+            return n;
+        }
+        // The scale operand must be a finite integer within ±2(emax+p).
+        let limit = 2 * (i64::from(ctx.emax) + i64::from(ctx.precision));
+        let scale_int = match integer_value(scale) {
+            Some(v) if v.abs() <= limit && scale.is_finite() => v,
+            _ => {
+                ctx.raise(Status::INVALID_OPERATION);
+                return DecNumber::nan();
+            }
+        };
+        if self.is_infinite() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.exponent = (i64::from(out.exponent) + scale_int)
+            .clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+        out.finish(ctx)
+    }
+
+    /// The adjusted exponent as a number (IEEE `logB`): `+Inf` for
+    /// infinities; `-Inf` with division-by-zero for zeros.
+    #[must_use]
+    pub fn logb(&self, ctx: &mut Context) -> DecNumber {
+        if let Some(n) = handle_nan_unary(self, ctx) {
+            return n;
+        }
+        if self.is_infinite() {
+            return DecNumber::infinity(Sign::Positive);
+        }
+        if self.is_zero() {
+            ctx.raise(Status::DIVISION_BY_ZERO);
+            return DecNumber::infinity(Sign::Negative);
+        }
+        DecNumber::from_i64(i64::from(self.adjusted_exponent()))
+    }
+
+    /// True if both operands have the same exponent (or are both infinite,
+    /// or both NaN) — IEEE `sameQuantum`, never signalling.
+    #[must_use]
+    pub fn same_quantum(&self, other: &DecNumber) -> bool {
+        match (self.kind, other.kind) {
+            (Kind::Finite, Kind::Finite) => self.exponent == other.exponent,
+            (Kind::Infinity, Kind::Infinity) => true,
+            (Kind::Nan { .. }, Kind::Nan { .. }) => true,
+            _ => false,
+        }
+    }
+
+    /// Returns `self` with the sign of `other` (IEEE `copySign`; quiet).
+    #[must_use]
+    pub fn copy_sign(&self, other: &DecNumber) -> DecNumber {
+        let mut out = self.clone();
+        out.sign = other.sign;
+        out
+    }
+}
+
+fn integer_value(n: &DecNumber) -> Option<i64> {
+    if !n.is_finite() {
+        return None;
+    }
+    let mut value: i64 = 0;
+    for &d in n.coefficient_digits().iter().rev() {
+        value = value.checked_mul(10)?.checked_add(i64::from(d))?;
+    }
+    for _ in 0..n.exponent() {
+        value = value.checked_mul(10)?;
+    }
+    if n.exponent() < 0 {
+        // Must still be an integer: trailing digits below the point must be
+        // zero.
+        let mut v = value;
+        for _ in 0..(-n.exponent()) {
+            if v % 10 != 0 {
+                return None;
+            }
+            v /= 10;
+        }
+        value = v;
+    }
+    Some(if n.is_negative() { -value } else { value })
+}
+
+fn min_max(a: &DecNumber, b: &DecNumber, ctx: &mut Context, want_max: bool) -> DecNumber {
+    // minNum/maxNum: a single quiet NaN loses to the number.
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) | (false, false) => {}
+        (true, false) => {
+            if a.is_snan() {
+                ctx.raise(Status::INVALID_OPERATION);
+                return DecNumber::nan();
+            }
+            return b.plus(ctx);
+        }
+        (false, true) => {
+            if b.is_snan() {
+                ctx.raise(Status::INVALID_OPERATION);
+                return DecNumber::nan();
+            }
+            return a.plus(ctx);
+        }
+    }
+    if let Some(n) = handle_nan_binary(a, b, ctx) {
+        return n;
+    }
+    let ordering = a.partial_cmp_num(b, ctx).expect("both numeric");
+    let pick_a = match ordering {
+        Ordering::Greater => want_max,
+        Ordering::Less => !want_max,
+        Ordering::Equal => {
+            // Tie rules from the General Decimal Arithmetic spec: prefer by
+            // sign, then by exponent.
+            match (a.sign(), b.sign()) {
+                (Sign::Positive, Sign::Negative) => want_max,
+                (Sign::Negative, Sign::Positive) => !want_max,
+                (Sign::Positive, Sign::Positive) => {
+                    (a.exponent() > b.exponent()) == want_max
+                }
+                (Sign::Negative, Sign::Negative) => {
+                    (a.exponent() < b.exponent()) == want_max
+                }
+            }
+        }
+    };
+    if pick_a {
+        a.plus(ctx)
+    } else {
+        b.plus(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DecNumber {
+        s.parse().unwrap()
+    }
+
+    fn c64() -> Context {
+        Context::decimal64()
+    }
+
+    #[test]
+    fn fma_single_rounding() {
+        let mut ctx = c64();
+        // 3 × 5 + 7 = 22
+        assert_eq!(n("3").fma(&n("5"), &n("7"), &mut ctx).to_string(), "22");
+        // A true double-rounding case: 100000001^2 + 45.
+        // Exact: 10000000200000046 -> single rounding gives ...005E+16;
+        // rounding the product first loses the trailing 1, and the second
+        // rounding then resolves the resulting exact tie downward.
+        let r = n("100000001").fma(&n("100000001"), &n("45"), &mut ctx);
+        assert_eq!(r.to_string(), "1.000000020000005E+16");
+        let mut ctx2 = c64();
+        let two_step = n("100000001")
+            .mul(&n("100000001"), &mut ctx2)
+            .add(&n("45"), &mut ctx2);
+        assert_eq!(two_step.to_string(), "1.000000020000004E+16");
+    }
+
+    #[test]
+    fn fma_specials() {
+        let mut ctx = c64();
+        assert!(n("0").fma(&n("Infinity"), &n("1"), &mut ctx).is_nan());
+        assert!(ctx.status().contains(Status::INVALID_OPERATION));
+        let mut ctx2 = c64();
+        let r = n("2").fma(&n("3"), &n("NaN5"), &mut ctx2);
+        assert!(r.is_nan());
+        assert_eq!(r.coefficient_digits(), &[5]);
+    }
+
+    #[test]
+    fn min_max_numeric() {
+        let mut ctx = c64();
+        assert_eq!(n("3").max(&n("2"), &mut ctx).to_string(), "3");
+        assert_eq!(n("3").min(&n("2"), &mut ctx).to_string(), "2");
+        assert_eq!(n("-3").min(&n("2"), &mut ctx).to_string(), "-3");
+        // Quiet NaN loses to a number (minNum/maxNum).
+        assert_eq!(n("NaN").max(&n("2"), &mut ctx).to_string(), "2");
+        assert_eq!(n("2").min(&n("NaN"), &mut ctx).to_string(), "2");
+        assert!(n("NaN").max(&n("NaN"), &mut ctx).is_nan());
+    }
+
+    #[test]
+    fn min_max_tie_rules() {
+        let mut ctx = c64();
+        // 1.0 == 1 but max prefers the larger exponent for positives.
+        assert_eq!(n("1.0").max(&n("1"), &mut ctx).to_string(), "1");
+        assert_eq!(n("1.0").min(&n("1"), &mut ctx).to_string(), "1.0");
+        // Signed zeros: +0 > -0 for max.
+        assert!(!n("0").max(&n("-0"), &mut ctx).is_negative());
+        assert!(n("0").min(&n("-0"), &mut ctx).is_negative());
+    }
+
+    #[test]
+    fn to_integral_modes() {
+        let mut ctx = c64();
+        assert_eq!(n("2.5").to_integral_exact(&mut ctx).to_string(), "2");
+        assert!(ctx.status().contains(Status::INEXACT));
+        assert_eq!(n("3.5").to_integral_exact(&mut ctx).to_string(), "4");
+        assert_eq!(n("-1.7").to_integral_exact(&mut ctx).to_string(), "-2");
+        assert_eq!(n("7E+3").to_integral_exact(&mut ctx).to_string(), "7E+3");
+        assert_eq!(n("Infinity").to_integral_exact(&mut ctx).to_string(), "Infinity");
+
+        let mut quiet = c64();
+        let r = n("2.5").to_integral_value(&mut quiet);
+        assert_eq!(r.to_string(), "2");
+        assert!(!quiet.status().contains(Status::INEXACT), "value form is quiet");
+    }
+
+    #[test]
+    fn scaleb_moves_the_exponent() {
+        let mut ctx = c64();
+        assert_eq!(n("7.50").scaleb(&n("2"), &mut ctx).to_string(), "750");
+        assert_eq!(n("7.50").scaleb(&n("-2"), &mut ctx).to_string(), "0.0750");
+        assert!(n("1").scaleb(&n("0.5"), &mut ctx).is_nan());
+        assert!(ctx.status().contains(Status::INVALID_OPERATION));
+        let mut ctx2 = c64();
+        assert!(n("1").scaleb(&n("1000000"), &mut ctx2).is_nan());
+    }
+
+    #[test]
+    fn scaleb_can_overflow_the_format() {
+        let mut ctx = c64();
+        let r = n("9E+384").scaleb(&n("1"), &mut ctx);
+        assert!(r.is_infinite());
+        assert!(ctx.status().contains(Status::OVERFLOW));
+    }
+
+    #[test]
+    fn logb_cases() {
+        let mut ctx = c64();
+        assert_eq!(n("250").logb(&mut ctx).to_string(), "2");
+        assert_eq!(n("0.03").logb(&mut ctx).to_string(), "-2");
+        assert_eq!(n("Infinity").logb(&mut ctx).to_string(), "Infinity");
+        let r = n("0").logb(&mut ctx);
+        assert!(r.is_infinite() && r.is_negative());
+        assert!(ctx.status().contains(Status::DIVISION_BY_ZERO));
+    }
+
+    #[test]
+    fn same_quantum_and_copy_sign() {
+        assert!(n("2.17").same_quantum(&n("0.01")));
+        assert!(!n("2.17").same_quantum(&n("0.1")));
+        assert!(n("Infinity").same_quantum(&n("-Infinity")));
+        assert!(n("NaN").same_quantum(&n("NaN")));
+        assert!(!n("NaN").same_quantum(&n("1")));
+        assert_eq!(n("1.5").copy_sign(&n("-7")).to_string(), "-1.5");
+        assert_eq!(n("-1.5").copy_sign(&n("7")).to_string(), "1.5");
+    }
+}

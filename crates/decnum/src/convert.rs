@@ -1,0 +1,308 @@
+//! Conversion between [`DecNumber`] and the DPD interchange formats.
+
+use bcd::Bcd64;
+use dpd::{Class, Decimal128, Decimal64, Sign};
+
+use crate::context::Context;
+use crate::number::{DecNumber, Kind};
+
+impl DecNumber {
+    /// Decodes a decimal64 exactly (interchange values always fit).
+    #[must_use]
+    pub fn from_decimal64(d: Decimal64) -> DecNumber {
+        match d.classify() {
+            Class::Infinity => DecNumber::infinity(d.sign()),
+            Class::QuietNan | Class::SignalingNan => {
+                let payload = d.nan_payload().expect("nan");
+                let mut digits: Vec<u8> = payload.iter_digits().collect();
+                while digits.last() == Some(&0) {
+                    digits.pop();
+                }
+                DecNumber {
+                    sign: d.sign(),
+                    kind: Kind::Nan {
+                        signaling: d.classify() == Class::SignalingNan,
+                    },
+                    digits,
+                    exponent: 0,
+                }
+            }
+            Class::Finite => {
+                let parts = d.to_parts().expect("finite");
+                let digits: Vec<u8> = parts
+                    .coefficient
+                    .iter_digits()
+                    .take(parts.coefficient.significant_digits().max(0) as usize)
+                    .collect();
+                DecNumber::from_parts(parts.sign, &digits, parts.exponent)
+            }
+        }
+    }
+
+    /// Encodes into decimal64, rounding through a decimal64 context and
+    /// merging any raised flags into `ctx`.
+    #[must_use]
+    pub fn to_decimal64(&self, ctx: &mut Context) -> Decimal64 {
+        match self.kind {
+            Kind::Infinity => {
+                if self.sign == Sign::Negative {
+                    Decimal64::NEG_INFINITY
+                } else {
+                    Decimal64::INFINITY
+                }
+            }
+            Kind::Nan { signaling } => {
+                // Keep at most 15 payload digits (the sixteenth is the MSD
+                // position, which must stay zero for a canonical NaN).
+                let mut raw = 0u64;
+                for (i, &d) in self.digits.iter().take(15).enumerate() {
+                    raw |= u64::from(d) << (4 * i);
+                }
+                let payload = Bcd64::from_raw_unchecked(raw);
+                let base = if signaling {
+                    Decimal64::SNAN.to_bits()
+                } else {
+                    Decimal64::NAN.to_bits()
+                };
+                let sign_bit = u64::from(self.sign == Sign::Negative) << 63;
+                // Re-encode the payload declets.
+                let mut cont = 0u64;
+                for i in 0..5 {
+                    let triple = ((payload.raw() >> (12 * i)) & 0xFFF) as u16;
+                    cont |= u64::from(dpd::declet::encode_declet_bcd(triple)) << (10 * i);
+                }
+                Decimal64::from_bits(base | sign_bit | cont)
+            }
+            Kind::Finite => {
+                let mut target = Context::decimal64();
+                target.rounding = ctx.rounding;
+                let rounded = self.clone().finish(&mut target);
+                ctx.raise(target.status());
+                match rounded.kind {
+                    Kind::Infinity => {
+                        if rounded.sign == Sign::Negative {
+                            Decimal64::NEG_INFINITY
+                        } else {
+                            Decimal64::INFINITY
+                        }
+                    }
+                    _ => {
+                        let mut raw = 0u64;
+                        for (i, &d) in rounded.digits.iter().enumerate() {
+                            raw |= u64::from(d) << (4 * i);
+                        }
+                        Decimal64::from_parts(
+                            rounded.sign,
+                            Bcd64::from_raw_unchecked(raw),
+                            rounded.exponent,
+                        )
+                        .expect("finished decimal64 value is in range")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes a decimal128 exactly.
+    #[must_use]
+    pub fn from_decimal128(d: Decimal128) -> DecNumber {
+        match d.classify() {
+            Class::Infinity => DecNumber::infinity(d.sign()),
+            Class::QuietNan | Class::SignalingNan => DecNumber {
+                sign: d.sign(),
+                kind: Kind::Nan {
+                    signaling: d.classify() == Class::SignalingNan,
+                },
+                digits: Vec::new(),
+                exponent: 0,
+            },
+            Class::Finite => {
+                let parts = d.to_parts().expect("finite");
+                DecNumber::from_parts(parts.sign, &parts.digits, parts.exponent)
+            }
+        }
+    }
+
+    /// Encodes into decimal128, rounding through a decimal128 context and
+    /// merging any raised flags into `ctx`.
+    #[must_use]
+    pub fn to_decimal128(&self, ctx: &mut Context) -> Decimal128 {
+        match self.kind {
+            Kind::Infinity => {
+                if self.sign == Sign::Negative {
+                    Decimal128::from_bits(Decimal128::INFINITY.to_bits() | (1 << 127))
+                } else {
+                    Decimal128::INFINITY
+                }
+            }
+            Kind::Nan { .. } => Decimal128::NAN,
+            Kind::Finite => {
+                let mut target = Context::decimal128();
+                target.rounding = ctx.rounding;
+                let rounded = self.clone().finish(&mut target);
+                ctx.raise(target.status());
+                match rounded.kind {
+                    Kind::Infinity => {
+                        if rounded.sign == Sign::Negative {
+                            Decimal128::from_bits(Decimal128::INFINITY.to_bits() | (1 << 127))
+                        } else {
+                            Decimal128::INFINITY
+                        }
+                    }
+                    _ => Decimal128::from_parts(
+                        rounded.sign,
+                        &rounded.digits,
+                        rounded.exponent,
+                    )
+                    .expect("finished decimal128 value is in range"),
+                }
+            }
+        }
+    }
+}
+
+/// Multiplies two decimal128 interchange values through a [`DecNumber`]
+/// context — the "quad" precision option of the paper's test-program
+/// generator.
+#[must_use]
+pub fn mul_decimal128(
+    x: dpd::Decimal128,
+    y: dpd::Decimal128,
+    ctx: &mut Context,
+) -> dpd::Decimal128 {
+    let a = DecNumber::from_decimal128(x);
+    let b = DecNumber::from_decimal128(y);
+    a.mul(&b, ctx).to_decimal128(ctx)
+}
+
+/// Multiplies two decimal64 interchange values through a [`DecNumber`]
+/// context — the reference semantics that every co-design implementation
+/// must match, and the software baseline of Table IV.
+#[must_use]
+pub fn mul_decimal64(x: Decimal64, y: Decimal64, ctx: &mut Context) -> Decimal64 {
+    let a = DecNumber::from_decimal64(x);
+    let b = DecNumber::from_decimal64(y);
+    a.mul(&b, ctx).to_decimal64(ctx)
+}
+
+/// Adds two decimal64 interchange values through a [`DecNumber`] context.
+#[must_use]
+pub fn add_decimal64(x: Decimal64, y: Decimal64, ctx: &mut Context) -> Decimal64 {
+    let a = DecNumber::from_decimal64(x);
+    let b = DecNumber::from_decimal64(y);
+    a.add(&b, ctx).to_decimal64(ctx)
+}
+
+/// Subtracts two decimal64 interchange values through a [`DecNumber`] context.
+#[must_use]
+pub fn sub_decimal64(x: Decimal64, y: Decimal64, ctx: &mut Context) -> Decimal64 {
+    let a = DecNumber::from_decimal64(x);
+    let b = DecNumber::from_decimal64(y);
+    a.sub(&b, ctx).to_decimal64(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Status;
+
+    fn n(s: &str) -> DecNumber {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn d64_roundtrip() {
+        let mut ctx = Context::decimal64();
+        for s in ["0", "1", "-1", "9024E-1", "9999999999999999E+369", "1E-398"] {
+            let d = n(s).to_decimal64(&mut ctx);
+            let back = DecNumber::from_decimal64(d);
+            assert_eq!(back.to_string(), n(s).to_string(), "value {s}");
+        }
+    }
+
+    #[test]
+    fn d64_encoding_rounds() {
+        let mut ctx = Context::decimal64();
+        let d = n("12345678901234567").to_decimal64(&mut ctx);
+        assert!(ctx.status().contains(Status::ROUNDED));
+        assert_eq!(
+            DecNumber::from_decimal64(d).to_string(),
+            "1.234567890123457E+16"
+        );
+    }
+
+    #[test]
+    fn d64_encoding_overflows_to_infinity() {
+        let mut ctx = Context::decimal64();
+        let d = n("1E+999").to_decimal64(&mut ctx);
+        assert!(d.is_infinite());
+        assert!(ctx.status().contains(Status::OVERFLOW));
+    }
+
+    #[test]
+    fn d64_specials_roundtrip() {
+        let mut ctx = Context::decimal64();
+        assert!(n("Infinity").to_decimal64(&mut ctx).is_infinite());
+        let neg_inf = n("-Infinity").to_decimal64(&mut ctx);
+        assert!(neg_inf.is_infinite());
+        assert_eq!(neg_inf.sign(), Sign::Negative);
+        let nan = n("NaN123").to_decimal64(&mut ctx);
+        assert!(nan.is_nan());
+        let back = DecNumber::from_decimal64(nan);
+        assert_eq!(back.coefficient_digits(), &[3, 2, 1]);
+        assert!(n("sNaN").to_decimal64(&mut ctx).classify() == Class::SignalingNan);
+    }
+
+    #[test]
+    fn d128_roundtrip() {
+        let mut ctx = Context::decimal128();
+        for s in ["0", "-42", "1234567890123456789012345678901234", "1E-6176"] {
+            let d = n(s).to_decimal128(&mut ctx);
+            assert_eq!(DecNumber::from_decimal128(d).to_string(), n(s).to_string());
+        }
+        // 1E-6176 is subnormal (flagged) but exactly representable.
+        assert!(!ctx.status().contains(Status::INEXACT));
+    }
+
+    #[test]
+    fn reference_multiply_smoke() {
+        let mut ctx = Context::decimal64();
+        let x = n("1.20").to_decimal64(&mut ctx);
+        let y = n("3").to_decimal64(&mut ctx);
+        let p = mul_decimal64(x, y, &mut ctx);
+        assert_eq!(DecNumber::from_decimal64(p).to_string(), "3.60");
+    }
+}
+
+#[cfg(test)]
+mod quad_tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::number::DecNumber;
+
+    #[test]
+    fn quad_multiply_full_precision() {
+        let mut ctx = Context::decimal128();
+        let x: DecNumber = "1234567890123456789012345678901234".parse().unwrap();
+        let y: DecNumber = "2".parse().unwrap();
+        let xd = x.to_decimal128(&mut ctx);
+        let yd = y.to_decimal128(&mut ctx);
+        let p = mul_decimal128(xd, yd, &mut ctx);
+        assert_eq!(
+            DecNumber::from_decimal128(p).to_string(),
+            "2469135780246913578024691357802468"
+        );
+        assert!(!ctx.status().contains(crate::context::Status::INEXACT));
+    }
+
+    #[test]
+    fn quad_multiply_rounds_at_34_digits() {
+        let mut ctx = Context::decimal128();
+        let x: DecNumber = "9999999999999999999999999999999999".parse().unwrap();
+        let xd = x.to_decimal128(&mut ctx);
+        let p = mul_decimal128(xd, xd, &mut ctx);
+        let back = DecNumber::from_decimal128(p);
+        assert_eq!(back.to_string(), "9.999999999999999999999999999999998E+67");
+        assert!(ctx.status().contains(crate::context::Status::INEXACT));
+    }
+}

@@ -1,0 +1,381 @@
+//! Precision rounding and exponent-range finishing.
+//!
+//! Every arithmetic operation computes an exact (or sticky-preserving)
+//! intermediate result and hands it to [`DecNumber::finish`], which rounds
+//! the coefficient to the context precision and then applies the IEEE
+//! overflow / underflow / clamping rules. The paper's workload generator
+//! deliberately exercises all of these paths (its "rounding", "overflow",
+//! "underflow" and "clamping" input classes), so the flag behaviour here is
+//! load-bearing for the experiments.
+
+use dpd::Sign;
+
+use crate::context::{Context, Rounding, Status};
+use crate::number::{DecNumber, Kind};
+
+/// Whether the kept coefficient must be incremented, given the rounding
+/// mode, result sign, the first discarded digit, whether any further
+/// discarded digit is non-zero, and the least significant kept digit.
+pub(crate) fn should_increment(
+    mode: Rounding,
+    sign: Sign,
+    round_digit: u8,
+    sticky: bool,
+    last_kept: u8,
+) -> bool {
+    let discarded_nonzero = round_digit != 0 || sticky;
+    match mode {
+        Rounding::Down => false,
+        Rounding::Up => discarded_nonzero,
+        Rounding::Ceiling => sign == Sign::Positive && discarded_nonzero,
+        Rounding::Floor => sign == Sign::Negative && discarded_nonzero,
+        Rounding::HalfUp => round_digit >= 5,
+        Rounding::HalfDown => round_digit > 5 || (round_digit == 5 && sticky),
+        Rounding::HalfEven => {
+            round_digit > 5 || (round_digit == 5 && (sticky || last_kept % 2 == 1))
+        }
+        Rounding::ZeroFiveUp => discarded_nonzero && (last_kept == 0 || last_kept == 5),
+    }
+}
+
+/// Adds one to an LSD-first digit vector, propagating carries; may grow the
+/// vector by one digit.
+pub(crate) fn increment(digits: &mut Vec<u8>) {
+    for d in digits.iter_mut() {
+        if *d < 9 {
+            *d += 1;
+            return;
+        }
+        *d = 0;
+    }
+    digits.push(1);
+}
+
+/// Discards the lowest `count` digits of `digits` with rounding, returning
+/// `(rounded, inexact)` status contributions. `count` may exceed the length.
+pub(crate) fn round_off(
+    digits: &mut Vec<u8>,
+    count: usize,
+    mode: Rounding,
+    sign: Sign,
+) -> (bool, bool) {
+    if count == 0 {
+        return (false, false);
+    }
+    let (round_digit, sticky) = if count > digits.len() {
+        // Everything (and more) is discarded: the round digit is an implied
+        // zero unless count == len + ... — when count exceeds the length the
+        // round digit position is above all digits, so the entire value is
+        // sticky.
+        let sticky = digits.iter().any(|&d| d != 0);
+        digits.clear();
+        (0, sticky)
+    } else {
+        let sticky = digits[..count - 1].iter().any(|&d| d != 0);
+        let round_digit = digits[count - 1];
+        digits.drain(..count);
+        (round_digit, sticky)
+    };
+    let last_kept = digits.first().copied().unwrap_or(0);
+    let inexact = round_digit != 0 || sticky;
+    if should_increment(mode, sign, round_digit, sticky, last_kept) {
+        increment(digits);
+    }
+    while digits.last() == Some(&0) {
+        digits.pop();
+    }
+    (true, inexact)
+}
+
+/// The largest finite number in `ctx` (`Nmax`), with the given sign.
+pub(crate) fn nmax(sign: Sign, ctx: &Context) -> DecNumber {
+    DecNumber {
+        sign,
+        kind: Kind::Finite,
+        digits: vec![9; ctx.precision as usize],
+        exponent: ctx.etop(),
+    }
+}
+
+impl DecNumber {
+    /// Rounds the coefficient to the context precision and applies the
+    /// exponent-range rules (overflow, subnormal underflow, clamping),
+    /// raising the corresponding status flags.
+    ///
+    /// This is decNumber's internal `decFinish`/`decSetCoeff` pipeline and
+    /// the single place every arithmetic result funnels through.
+    #[must_use]
+    pub fn finish(mut self, ctx: &mut Context) -> DecNumber {
+        if self.kind != Kind::Finite {
+            return self;
+        }
+        // Zero coefficient: just bring the exponent into range.
+        if self.digits.is_empty() {
+            let clamped_low = self.exponent.max(ctx.etiny());
+            let clamped = if ctx.clamp {
+                clamped_low.min(ctx.etop())
+            } else {
+                clamped_low.min(ctx.emax)
+            };
+            if clamped != self.exponent {
+                ctx.raise(Status::CLAMPED);
+                self.exponent = clamped;
+            }
+            return self;
+        }
+
+        // Tininess is detected before rounding (decNumber's choice).
+        let subnormal_before = self.adjusted_exponent() < ctx.emin;
+
+        // Round ONCE: to the precision, or — for results below the subnormal
+        // threshold — at Etiny, whichever discards more. Rounding to
+        // precision first and re-rounding at Etiny would double-round.
+        let etiny = ctx.etiny();
+        let discard_precision = self.digits.len().saturating_sub(ctx.precision as usize);
+        let discard_etiny = if subnormal_before && self.exponent < etiny {
+            (etiny - self.exponent) as usize
+        } else {
+            0
+        };
+        let discard = discard_precision.max(discard_etiny);
+        let mut inexact = false;
+        if discard > 0 {
+            let (rounded, was_inexact) =
+                round_off(&mut self.digits, discard, ctx.rounding, self.sign);
+            self.exponent += discard as i32;
+            inexact = was_inexact;
+            if rounded {
+                ctx.raise(Status::ROUNDED);
+            }
+            if was_inexact {
+                ctx.raise(Status::INEXACT);
+            }
+            // An all-nines coefficient may have grown by a digit.
+            if self.digits.len() > ctx.precision as usize {
+                debug_assert_eq!(self.digits.len(), ctx.precision as usize + 1);
+                debug_assert_eq!(self.digits.first(), Some(&0));
+                self.digits.remove(0);
+                self.exponent += 1;
+            }
+        }
+
+        // Overflow.
+        if self.adjusted_exponent() > ctx.emax {
+            ctx.raise(
+                Status::OVERFLOW
+                    .union(Status::INEXACT)
+                    .union(Status::ROUNDED),
+            );
+            return match ctx.rounding {
+                Rounding::HalfEven | Rounding::HalfUp | Rounding::HalfDown | Rounding::Up => {
+                    DecNumber::infinity(self.sign)
+                }
+                Rounding::Down | Rounding::ZeroFiveUp => nmax(self.sign, ctx),
+                Rounding::Ceiling => {
+                    if self.sign == Sign::Positive {
+                        DecNumber::infinity(Sign::Positive)
+                    } else {
+                        nmax(Sign::Negative, ctx)
+                    }
+                }
+                Rounding::Floor => {
+                    if self.sign == Sign::Negative {
+                        DecNumber::infinity(Sign::Negative)
+                    } else {
+                        nmax(Sign::Positive, ctx)
+                    }
+                }
+            };
+        }
+
+        // Subnormal / underflow flags (tininess was detected pre-rounding).
+        if subnormal_before {
+            ctx.raise(Status::SUBNORMAL);
+            if inexact {
+                ctx.raise(Status::UNDERFLOW);
+            }
+            if self.digits.is_empty() {
+                // Underflowed to zero: keep the sign, exponent Etiny; this
+                // is also a clamped result.
+                ctx.raise(Status::CLAMPED);
+            }
+            #[cfg(debug_assertions)]
+            self.assert_valid();
+            return self;
+        }
+
+        // IEEE clamping: fold an over-large exponent into trailing zeros.
+        if ctx.clamp && self.exponent > ctx.etop() {
+            let pad = (self.exponent - ctx.etop()) as usize;
+            if !self.digits.is_empty() {
+                // Shifting left must fit inside the precision; adjusted
+                // exponent <= emax guarantees it does.
+                let mut padded = vec![0u8; pad];
+                padded.extend_from_slice(&self.digits);
+                debug_assert!(padded.len() <= ctx.precision as usize);
+                self.digits = padded;
+            }
+            self.exponent = ctx.etop();
+            ctx.raise(Status::CLAMPED);
+        }
+        #[cfg(debug_assertions)]
+        self.assert_valid();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::decimal64()
+    }
+
+    fn finish(s: &str, ctx: &mut Context) -> DecNumber {
+        s.parse::<DecNumber>().unwrap().finish(ctx)
+    }
+
+    #[test]
+    fn exact_fit_untouched() {
+        let mut c = ctx();
+        let n = finish("1234567890123456", &mut c);
+        assert_eq!(n.to_string(), "1234567890123456");
+        assert!(c.status().is_clear());
+    }
+
+    #[test]
+    fn rounds_to_precision_half_even() {
+        let mut c = ctx();
+        // 17 digits, round digit 5 with zero sticky, last kept digit even.
+        let n = finish("12345678901234565", &mut c);
+        assert_eq!(n.to_string(), "1.234567890123456E+16");
+        assert!(c.status().contains(Status::ROUNDED.union(Status::INEXACT)));
+
+        let mut c2 = ctx();
+        let n2 = finish("12345678901234575", &mut c2);
+        assert_eq!(n2.to_string(), "1.234567890123458E+16");
+    }
+
+    #[test]
+    fn all_nines_rounds_up_a_digit() {
+        let mut c = ctx();
+        let n = finish("99999999999999995", &mut c);
+        assert_eq!(n.to_string(), "1.000000000000000E+17");
+        assert_eq!(n.ndigits(), 16);
+    }
+
+    #[test]
+    fn overflow_to_infinity_half_even() {
+        let mut c = ctx();
+        let n = finish("1E+385", &mut c);
+        assert!(n.is_infinite());
+        assert!(c.status().contains(Status::OVERFLOW));
+    }
+
+    #[test]
+    fn overflow_direction_by_mode() {
+        for (mode, negative, expect_inf) in [
+            (Rounding::Down, false, false),
+            (Rounding::Up, false, true),
+            (Rounding::Ceiling, false, true),
+            (Rounding::Ceiling, true, false),
+            (Rounding::Floor, true, true),
+            (Rounding::Floor, false, false),
+        ] {
+            let mut c = ctx().with_rounding(mode);
+            let s = if negative { "-1E+999" } else { "1E+999" };
+            let n = finish(s, &mut c);
+            assert_eq!(n.is_infinite(), expect_inf, "{mode:?} {negative}");
+            if !expect_inf {
+                assert_eq!(n.abs().to_string(), "9.999999999999999E+384");
+            }
+        }
+    }
+
+    #[test]
+    fn subnormal_flagged_without_precision_loss() {
+        let mut c = ctx();
+        // 1E-390 is subnormal for decimal64 but exactly representable.
+        let n = finish("1E-390", &mut c);
+        assert_eq!(n.to_string(), "1E-390");
+        assert!(c.status().contains(Status::SUBNORMAL));
+        assert!(!c.status().contains(Status::UNDERFLOW));
+    }
+
+    #[test]
+    fn underflow_rounds_at_etiny() {
+        let mut c = ctx();
+        let n = finish("123E-400", &mut c);
+        // Etiny = -398; 123E-400 = 1.23E-398 -> rounds to 1E-398.
+        assert_eq!(n.to_string(), "1E-398");
+        assert!(c
+            .status()
+            .contains(Status::SUBNORMAL.union(Status::UNDERFLOW).union(Status::INEXACT)));
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        let mut c = ctx();
+        let n = finish("1E-500", &mut c);
+        assert!(n.is_zero());
+        assert_eq!(n.exponent(), -398);
+        assert!(c.status().contains(Status::UNDERFLOW.union(Status::CLAMPED)));
+    }
+
+    #[test]
+    fn clamping_pads_large_exponents() {
+        let mut c = ctx();
+        // 1E+384 has exponent above Etop (369): must become 1 followed by
+        // fifteen zeros times 10^369.
+        let n = finish("1E+384", &mut c);
+        assert_eq!(n.exponent(), 369);
+        assert_eq!(n.ndigits(), 16);
+        assert!(c.status().contains(Status::CLAMPED));
+        assert_eq!(n.to_string(), "1.000000000000000E+384");
+    }
+
+    #[test]
+    fn zero_exponent_clamped_into_range() {
+        let mut c = ctx();
+        let n = finish("0E+500", &mut c);
+        assert!(n.is_zero());
+        assert_eq!(n.exponent(), 369);
+        assert!(c.status().contains(Status::CLAMPED));
+
+        let mut c2 = ctx();
+        let n2 = finish("0E-500", &mut c2);
+        assert_eq!(n2.exponent(), -398);
+    }
+
+    #[test]
+    fn rounding_mode_matrix() {
+        // Value 2.5 rounded to one digit under every mode, both signs.
+        let cases: &[(Rounding, &str, &str)] = &[
+            (Rounding::HalfEven, "2", "-2"),
+            (Rounding::HalfUp, "3", "-3"),
+            (Rounding::HalfDown, "2", "-2"),
+            (Rounding::Down, "2", "-2"),
+            (Rounding::Up, "3", "-3"),
+            (Rounding::Ceiling, "3", "-2"),
+            (Rounding::Floor, "2", "-3"),
+            (Rounding::ZeroFiveUp, "2", "-2"),
+        ];
+        for &(mode, pos, neg) in cases {
+            let mut c = Context::with_precision(1).with_rounding(mode);
+            assert_eq!(finish("2.5", &mut c).to_string(), pos, "{mode:?} +");
+            assert_eq!(finish("-2.5", &mut c).to_string(), neg, "{mode:?} -");
+        }
+    }
+
+    #[test]
+    fn zero_five_up_behaviour() {
+        let mut c = Context::with_precision(2).with_rounding(Rounding::ZeroFiveUp);
+        // last kept digit 0 -> bump; 2.01 -> keeps "20" + discarded nonzero -> 21
+        assert_eq!(finish("2.01", &mut c).to_string(), "2.1");
+        // last kept digit 3 -> no bump.
+        assert_eq!(finish("2.31", &mut c).to_string(), "2.3");
+        // last kept digit 5 -> bump.
+        assert_eq!(finish("2.51", &mut c).to_string(), "2.6");
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests pinning decnum arithmetic to exact integer references.
+
+use decnum::{Context, DecNumber, Rounding, Status};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// A random finite decimal64-ish operand: coefficient up to 16 digits,
+/// modest exponent.
+fn operand() -> impl Strategy<Value = (u64, i32, bool)> {
+    // Exponents stay within ±10 so exact i128 cross-checks cannot overflow.
+    (0u64..=9_999_999_999_999_999, -10i32..=10, any::<bool>())
+}
+
+fn make(coeff: u64, exp: i32, neg: bool) -> DecNumber {
+    let n = DecNumber::from_u64(coeff);
+    DecNumber::from_parts(
+        if neg {
+            decnum::Sign::Negative
+        } else {
+            decnum::Sign::Positive
+        },
+        n.coefficient_digits(),
+        exp,
+    )
+}
+
+/// Exact value comparison via i128 scaling (valid when exponents are small).
+fn exact_cmp(a: &DecNumber, b: &DecNumber) -> Ordering {
+    let av = to_scaled_i128(a);
+    let bv = to_scaled_i128(b);
+    // Scale to common exponent.
+    let (mut av, ae) = av;
+    let (mut bv, be) = bv;
+    let common = ae.min(be);
+    for _ in common..ae {
+        av *= 10;
+    }
+    for _ in common..be {
+        bv *= 10;
+    }
+    av.cmp(&bv)
+}
+
+fn to_scaled_i128(n: &DecNumber) -> (i128, i32) {
+    let mut v: i128 = 0;
+    for &d in n.coefficient_digits().iter().rev() {
+        v = v * 10 + i128::from(d);
+    }
+    if n.is_negative() {
+        v = -v;
+    }
+    (v, n.exponent())
+}
+
+proptest! {
+    #[test]
+    fn mul_matches_exact_when_it_fits((ca, ea, na) in operand(), (cb, eb, nb) in operand()) {
+        // Restrict to products that fit in 16 digits so no rounding happens.
+        let a = make(ca % 100_000_000, ea, na);
+        let b = make(cb % 100_000_000, eb, nb);
+        let mut ctx = Context::decimal64();
+        let p = a.mul(&b, &mut ctx);
+        prop_assert!(!ctx.status().contains(Status::INEXACT));
+        let expect = (ca % 100_000_000) as i128 * (cb % 100_000_000) as i128
+            * if na != nb { -1 } else { 1 };
+        let (got, gexp) = to_scaled_i128(&p);
+        let mut scaled = got;
+        for _ in (ea + eb)..gexp {
+            scaled *= 10;
+        }
+        prop_assert_eq!(scaled, expect);
+    }
+
+    #[test]
+    fn mul_commutes((ca, ea, na) in operand(), (cb, eb, nb) in operand()) {
+        let a = make(ca, ea, na);
+        let b = make(cb, eb, nb);
+        let mut c1 = Context::decimal64();
+        let mut c2 = Context::decimal64();
+        prop_assert_eq!(a.mul(&b, &mut c1), b.mul(&a, &mut c2));
+        prop_assert_eq!(c1.status(), c2.status());
+    }
+
+    #[test]
+    fn add_commutes((ca, ea, na) in operand(), (cb, eb, nb) in operand()) {
+        let a = make(ca, ea, na);
+        let b = make(cb, eb, nb);
+        let mut c1 = Context::decimal64();
+        let mut c2 = Context::decimal64();
+        prop_assert_eq!(a.add(&b, &mut c1), b.add(&a, &mut c2));
+    }
+
+    #[test]
+    fn add_matches_i128(ca in 0u64..=9_999_999_999_999_999, cb in 0u64..=9_999_999_999_999_999, na: bool, nb: bool) {
+        // Same exponent, result <= 17 digits: compare after one rounding.
+        let a = make(ca, 0, na);
+        let b = make(cb, 0, nb);
+        let mut ctx = Context::with_precision(40);
+        let s = a.add(&b, &mut ctx);
+        let expect = (ca as i128) * if na {-1} else {1} + (cb as i128) * if nb {-1} else {1};
+        let (got, gexp) = to_scaled_i128(&s);
+        prop_assert_eq!(gexp, 0);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sub_self_is_zero((ca, ea, na) in operand()) {
+        let a = make(ca, ea, na);
+        let mut ctx = Context::decimal64();
+        let z = a.sub(&a, &mut ctx);
+        prop_assert!(z.is_zero());
+    }
+
+    #[test]
+    fn mul_by_one_is_identity_up_to_rounding((ca, ea, na) in operand()) {
+        let a = make(ca, ea, na);
+        let mut ctx = Context::decimal64();
+        let p = a.mul(&DecNumber::one(), &mut ctx);
+        prop_assert_eq!(exact_cmp(&p, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn compare_is_antisymmetric((ca, ea, na) in operand(), (cb, eb, nb) in operand()) {
+        let a = make(ca, ea, na);
+        let b = make(cb, eb, nb);
+        let mut ctx = Context::decimal64();
+        let ab = a.partial_cmp_num(&b, &mut ctx).unwrap();
+        let ba = b.partial_cmp_num(&a, &mut ctx).unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab, exact_cmp(&a, &b));
+    }
+
+    #[test]
+    fn div_then_mul_round_trips(ca in 1u64..=9_999_999, cb in 1u64..=9_999_999) {
+        let a = DecNumber::from_u64(ca);
+        let b = DecNumber::from_u64(cb);
+        let mut ctx = Context::decimal64();
+        let q = a.div(&b, &mut ctx);
+        let back = q.mul(&b, &mut ctx);
+        // |back - a| <= one ulp-ish of a: verify relative error is tiny by
+        // checking the first 14 digits agree.
+        let mut wide = Context::with_precision(40);
+        let diff = back.sub(&a, &mut wide).abs();
+        let tolerance: DecNumber = format!("{ca}E-13").parse().unwrap();
+        prop_assert_eq!(
+            diff.partial_cmp_num(&tolerance, &mut wide),
+            Some(Ordering::Less),
+            "a={} b={} q={} back={}", a, b, q, back
+        );
+    }
+
+    #[test]
+    fn string_roundtrip((ca, ea, na) in operand()) {
+        let a = make(ca, ea, na);
+        let s = a.to_sci_string();
+        let back: DecNumber = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn interchange_roundtrip((ca, ea, na) in operand()) {
+        let a = make(ca, ea, na);
+        let mut ctx = Context::decimal64();
+        let d = a.to_decimal64(&mut ctx);
+        let back = DecNumber::from_decimal64(d);
+        // Encoding is exact for these operands.
+        prop_assert!(!ctx.status().contains(Status::INEXACT));
+        prop_assert_eq!(exact_cmp(&back, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn rounding_modes_bracket_the_exact_value(
+        (ca, ea, na) in operand(),
+        (cb, eb, nb) in operand(),
+    ) {
+        // floor(x*y) <= x*y <= ceil(x*y) in every case.
+        let a = make(ca, ea, na);
+        let b = make(cb, eb, nb);
+        let mut cf = Context::decimal64().with_rounding(Rounding::Floor);
+        let mut cc = Context::decimal64().with_rounding(Rounding::Ceiling);
+        let lo = a.mul(&b, &mut cf);
+        let hi = a.mul(&b, &mut cc);
+        if lo.is_finite() && hi.is_finite() {
+            let mut ctx = Context::with_precision(80);
+            prop_assert_ne!(
+                lo.partial_cmp_num(&hi, &mut ctx),
+                Some(Ordering::Greater),
+                "floor result must not exceed ceiling result"
+            );
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The decimal128 interchange format ("quad" decimal in the paper).
+
+use crate::declet::{decode_declet, encode_declet};
+use crate::{Class, DpdError, Sign};
+
+/// An IEEE 754-2008 decimal128 value in its DPD interchange encoding.
+///
+/// Layout: 1 sign bit, 5-bit combination, 12-bit exponent continuation,
+/// 110-bit coefficient continuation (eleven declets). Precision is
+/// thirty-four digits, so the coefficient is exposed as a digit array rather
+/// than a packed word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal128(u128);
+
+/// The sign, coefficient digits and exponent of a finite decimal128.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parts128 {
+    /// The sign.
+    pub sign: Sign,
+    /// Coefficient digits, least significant first; exactly 34 entries.
+    pub digits: [u8; 34],
+    /// The exponent of the least significant coefficient digit (`q`).
+    pub exponent: i32,
+}
+
+impl Parts128 {
+    /// Number of significant digits (zero has zero).
+    #[must_use]
+    pub fn significant_digits(&self) -> u32 {
+        self.digits
+            .iter()
+            .rposition(|&d| d != 0)
+            .map_or(0, |i| i as u32 + 1)
+    }
+}
+
+impl Decimal128 {
+    /// Precision in decimal digits.
+    pub const PRECISION: u32 = 34;
+    /// Exponent bias applied to `q`.
+    pub const BIAS: i32 = 6176;
+    /// Smallest exponent `q`.
+    pub const EMIN_Q: i32 = -6176;
+    /// Largest exponent `q`.
+    pub const EMAX_Q: i32 = 6111;
+
+    /// Positive zero.
+    pub const ZERO: Decimal128 = Decimal128(0x2208_0000_0000_0000_0000_0000_0000_0000);
+    /// Positive infinity.
+    pub const INFINITY: Decimal128 = Decimal128(0x7800_0000_0000_0000_0000_0000_0000_0000);
+    /// A quiet NaN.
+    pub const NAN: Decimal128 = Decimal128(0x7C00_0000_0000_0000_0000_0000_0000_0000);
+
+    const COMBO_SHIFT: u32 = 122;
+    const EXP_CONT_SHIFT: u32 = 110;
+    const EXP_CONT_BITS: u32 = 12;
+    const DECLETS: u32 = 11;
+
+    /// Wraps raw interchange bits.
+    #[must_use]
+    pub const fn from_bits(bits: u128) -> Self {
+        Decimal128(bits)
+    }
+
+    /// The raw interchange bits.
+    #[must_use]
+    pub const fn to_bits(self) -> u128 {
+        self.0
+    }
+
+    /// Builds a finite value from its parts. `digits` is least significant
+    /// first and at most 34 entries long.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdError::CoefficientTooWide`], [`DpdError::InvalidDigit`] or
+    /// [`DpdError::ExponentOutOfRange`] on malformed input.
+    pub fn from_parts(sign: Sign, digits: &[u8], exponent: i32) -> Result<Self, DpdError> {
+        if digits.len() > Self::PRECISION as usize {
+            return Err(DpdError::CoefficientTooWide {
+                precision: Self::PRECISION,
+            });
+        }
+        if let Some(&d) = digits.iter().find(|&&d| d > 9) {
+            return Err(DpdError::InvalidDigit { digit: d });
+        }
+        if !(Self::EMIN_Q..=Self::EMAX_Q).contains(&exponent) {
+            return Err(DpdError::ExponentOutOfRange {
+                min: Self::EMIN_Q,
+                max: Self::EMAX_Q,
+            });
+        }
+        let mut full = [0u8; 34];
+        full[..digits.len()].copy_from_slice(digits);
+        let biased = (exponent + Self::BIAS) as u128;
+        let exp_high = biased >> Self::EXP_CONT_BITS;
+        let exp_cont = biased & ((1 << Self::EXP_CONT_BITS) - 1);
+        let msd = full[33];
+        let combo = if msd <= 7 {
+            (exp_high << 3) | u128::from(msd)
+        } else {
+            0b11000 | (exp_high << 1) | u128::from(msd - 8)
+        };
+        let mut coeff_cont = 0u128;
+        for i in 0..Self::DECLETS as usize {
+            let declet = encode_declet(full[3 * i + 2], full[3 * i + 1], full[3 * i]);
+            coeff_cont |= u128::from(declet) << (10 * i);
+        }
+        Ok(Decimal128(
+            (u128::from(sign == Sign::Negative) << 127)
+                | (combo << Self::COMBO_SHIFT)
+                | (exp_cont << Self::EXP_CONT_SHIFT)
+                | coeff_cont,
+        ))
+    }
+
+    /// Classifies the value.
+    #[must_use]
+    pub fn classify(self) -> Class {
+        let combo = (self.0 >> Self::COMBO_SHIFT) & 0x1F;
+        if combo >> 1 == 0b1111 {
+            if combo & 1 == 0 {
+                Class::Infinity
+            } else if self.0 & (1 << 121) != 0 {
+                Class::SignalingNan
+            } else {
+                Class::QuietNan
+            }
+        } else {
+            Class::Finite
+        }
+    }
+
+    /// The sign bit.
+    #[must_use]
+    pub fn sign(self) -> Sign {
+        if self.0 >> 127 == 1 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        }
+    }
+
+    /// True for finite values.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.classify() == Class::Finite
+    }
+
+    /// True for quiet or signaling NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        matches!(self.classify(), Class::QuietNan | Class::SignalingNan)
+    }
+
+    /// Decomposes a finite value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdError::NotFinite`] for infinities and NaNs.
+    pub fn to_parts(self) -> Result<Parts128, DpdError> {
+        if !self.is_finite() {
+            return Err(DpdError::NotFinite);
+        }
+        let combo = (self.0 >> Self::COMBO_SHIFT) & 0x1F;
+        let (exp_high, msd) = if combo >> 3 == 0b11 {
+            ((combo >> 1) & 0b11, 8 + (combo & 1) as u8)
+        } else {
+            (combo >> 3, (combo & 0b111) as u8)
+        };
+        let exp_cont = (self.0 >> Self::EXP_CONT_SHIFT) & ((1 << Self::EXP_CONT_BITS) - 1);
+        let biased = (exp_high << Self::EXP_CONT_BITS) | exp_cont;
+        let mut digits = [0u8; 34];
+        digits[33] = msd;
+        for i in 0..Self::DECLETS as usize {
+            let declet = ((self.0 >> (10 * i)) & 0x3FF) as u16;
+            let (d2, d1, d0) = decode_declet(declet);
+            digits[3 * i] = d0;
+            digits[3 * i + 1] = d1;
+            digits[3 * i + 2] = d2;
+        }
+        Ok(Parts128 {
+            sign: self.sign(),
+            digits,
+            exponent: biased as i32 - Self::BIAS,
+        })
+    }
+}
+
+impl Default for Decimal128 {
+    fn default() -> Self {
+        Decimal128::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_encodes_to_known_bits() {
+        // decimal128 1 = 0x22080000000000000000000000000001.
+        let one = Decimal128::from_parts(Sign::Positive, &[1], 0).unwrap();
+        assert_eq!(one.to_bits(), 0x2208_0000_0000_0000_0000_0000_0000_0001);
+    }
+
+    #[test]
+    fn parts_roundtrip_full_precision() {
+        let digits: Vec<u8> = (0..34).map(|i| ((i * 7 + 3) % 10) as u8).collect();
+        let v = Decimal128::from_parts(Sign::Negative, &digits, -2000).unwrap();
+        let p = v.to_parts().unwrap();
+        assert_eq!(&p.digits[..], &digits[..]);
+        assert_eq!(p.exponent, -2000);
+        assert_eq!(p.sign, Sign::Negative);
+    }
+
+    #[test]
+    fn msd_nine_roundtrips() {
+        let mut digits = [0u8; 34];
+        digits[33] = 9;
+        let v = Decimal128::from_parts(Sign::Positive, &digits, 0).unwrap();
+        assert_eq!(v.to_parts().unwrap().digits[33], 9);
+    }
+
+    #[test]
+    fn significant_digits_helper() {
+        let p = Decimal128::from_parts(Sign::Positive, &[0, 0, 5], 0)
+            .unwrap()
+            .to_parts()
+            .unwrap();
+        assert_eq!(p.significant_digits(), 3);
+        let zero = Decimal128::ZERO.to_parts().unwrap();
+        assert_eq!(zero.significant_digits(), 0);
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(Decimal128::from_parts(Sign::Positive, &[1; 35], 0).is_err());
+        assert!(Decimal128::from_parts(Sign::Positive, &[10], 0).is_err());
+        assert!(Decimal128::from_parts(Sign::Positive, &[1], 6112).is_err());
+        assert!(Decimal128::from_parts(Sign::Positive, &[1], -6177).is_err());
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(Decimal128::INFINITY.classify(), Class::Infinity);
+        assert_eq!(Decimal128::NAN.classify(), Class::QuietNan);
+        assert!(Decimal128::NAN.is_nan());
+        assert!(Decimal128::ZERO.is_finite());
+    }
+}

@@ -1,0 +1,207 @@
+//! The decimal32 interchange format (storage-only in most implementations).
+
+use bcd::Bcd64;
+
+use crate::declet::{decode_declet_bcd, encode_declet_bcd};
+use crate::{Class, DpdError, Sign};
+
+/// An IEEE 754-2008 decimal32 value in its DPD interchange encoding.
+///
+/// Layout: 1 sign bit, 5-bit combination, 6-bit exponent continuation,
+/// 20-bit coefficient continuation (two declets). Precision is seven digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal32(u32);
+
+/// The sign, coefficient and exponent of a finite decimal32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parts32 {
+    /// The sign.
+    pub sign: Sign,
+    /// The coefficient, at most seven digits.
+    pub coefficient: Bcd64,
+    /// The exponent of the least significant coefficient digit (`q`).
+    pub exponent: i32,
+}
+
+impl Decimal32 {
+    /// Precision in decimal digits.
+    pub const PRECISION: u32 = 7;
+    /// Exponent bias applied to `q`.
+    pub const BIAS: i32 = 101;
+    /// Smallest exponent `q`.
+    pub const EMIN_Q: i32 = -101;
+    /// Largest exponent `q`.
+    pub const EMAX_Q: i32 = 90;
+
+    /// Positive zero.
+    pub const ZERO: Decimal32 = Decimal32(0x2250_0000);
+    /// Positive infinity.
+    pub const INFINITY: Decimal32 = Decimal32(0x7800_0000);
+    /// A quiet NaN.
+    pub const NAN: Decimal32 = Decimal32(0x7C00_0000);
+
+    const COMBO_SHIFT: u32 = 26;
+    const EXP_CONT_SHIFT: u32 = 20;
+    const EXP_CONT_BITS: u32 = 6;
+
+    /// Wraps raw interchange bits.
+    #[must_use]
+    pub const fn from_bits(bits: u32) -> Self {
+        Decimal32(bits)
+    }
+
+    /// The raw interchange bits.
+    #[must_use]
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a finite value from sign, coefficient and exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdError::CoefficientTooWide`] for coefficients beyond seven
+    /// digits and [`DpdError::ExponentOutOfRange`] for exponents outside
+    /// `[-101, 90]`.
+    pub fn from_parts(sign: Sign, coefficient: Bcd64, exponent: i32) -> Result<Self, DpdError> {
+        if coefficient.significant_digits() > Self::PRECISION {
+            return Err(DpdError::CoefficientTooWide {
+                precision: Self::PRECISION,
+            });
+        }
+        if !(Self::EMIN_Q..=Self::EMAX_Q).contains(&exponent) {
+            return Err(DpdError::ExponentOutOfRange {
+                min: Self::EMIN_Q,
+                max: Self::EMAX_Q,
+            });
+        }
+        let biased = (exponent + Self::BIAS) as u32;
+        let exp_high = biased >> Self::EXP_CONT_BITS;
+        let exp_cont = biased & ((1 << Self::EXP_CONT_BITS) - 1);
+        let msd = coefficient.digit(6);
+        let combo = if msd <= 7 {
+            (exp_high << 3) | u32::from(msd)
+        } else {
+            0b11000 | (exp_high << 1) | u32::from(msd - 8)
+        };
+        let mut coeff_cont = 0u32;
+        for i in 0..2 {
+            let triple = ((coefficient.raw() >> (12 * i)) & 0xFFF) as u16;
+            coeff_cont |= u32::from(encode_declet_bcd(triple)) << (10 * i);
+        }
+        Ok(Decimal32(
+            (u32::from(sign == Sign::Negative) << 31)
+                | (combo << Self::COMBO_SHIFT)
+                | (exp_cont << Self::EXP_CONT_SHIFT)
+                | coeff_cont,
+        ))
+    }
+
+    /// Classifies the value.
+    #[must_use]
+    pub fn classify(self) -> Class {
+        let combo = (self.0 >> Self::COMBO_SHIFT) & 0x1F;
+        if combo >> 1 == 0b1111 {
+            if combo & 1 == 0 {
+                Class::Infinity
+            } else if self.0 & (1 << 25) != 0 {
+                Class::SignalingNan
+            } else {
+                Class::QuietNan
+            }
+        } else {
+            Class::Finite
+        }
+    }
+
+    /// The sign bit.
+    #[must_use]
+    pub fn sign(self) -> Sign {
+        if self.0 >> 31 == 1 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        }
+    }
+
+    /// True for finite values.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.classify() == Class::Finite
+    }
+
+    /// Decomposes a finite value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdError::NotFinite`] for infinities and NaNs.
+    pub fn to_parts(self) -> Result<Parts32, DpdError> {
+        if !self.is_finite() {
+            return Err(DpdError::NotFinite);
+        }
+        let combo = (self.0 >> Self::COMBO_SHIFT) & 0x1F;
+        let (exp_high, msd) = if combo >> 3 == 0b11 {
+            ((combo >> 1) & 0b11, 8 + (combo & 1))
+        } else {
+            (combo >> 3, combo & 0b111)
+        };
+        let exp_cont = (self.0 >> Self::EXP_CONT_SHIFT) & ((1 << Self::EXP_CONT_BITS) - 1);
+        let biased = (exp_high << Self::EXP_CONT_BITS) | exp_cont;
+        let mut raw = u64::from(msd) << 24;
+        for i in 0..2 {
+            let declet = ((self.0 >> (10 * i)) & 0x3FF) as u16;
+            raw |= u64::from(decode_declet_bcd(declet)) << (12 * i);
+        }
+        Ok(Parts32 {
+            sign: self.sign(),
+            coefficient: Bcd64::from_raw_unchecked(raw),
+            exponent: biased as i32 - Self::BIAS,
+        })
+    }
+}
+
+impl Default for Decimal32 {
+    fn default() -> Self {
+        Decimal32::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_encodes_to_known_bits() {
+        // decimal32 1 = 0x22500001.
+        let one = Decimal32::from_parts(Sign::Positive, Bcd64::ONE, 0).unwrap();
+        assert_eq!(one.to_bits(), 0x2250_0001);
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        for (coeff, exp) in [(0u64, 0i32), (9_999_999, 90), (1, -101), (8_765_432, 0)] {
+            let c = Bcd64::from_value(coeff).unwrap();
+            let v = Decimal32::from_parts(Sign::Negative, c, exp).unwrap();
+            let p = v.to_parts().unwrap();
+            assert_eq!((p.sign, p.coefficient, p.exponent), (Sign::Negative, c, exp));
+        }
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(Decimal32::from_parts(
+            Sign::Positive,
+            Bcd64::from_value(10_000_000).unwrap(),
+            0
+        )
+        .is_err());
+        assert!(Decimal32::from_parts(Sign::Positive, Bcd64::ONE, 91).is_err());
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(Decimal32::INFINITY.classify(), Class::Infinity);
+        assert_eq!(Decimal32::NAN.classify(), Class::QuietNan);
+        assert!(Decimal32::ZERO.is_finite());
+    }
+}

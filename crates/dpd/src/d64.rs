@@ -1,0 +1,374 @@
+//! The decimal64 interchange format ("double" decimal in the paper).
+
+use bcd::Bcd64;
+
+use crate::declet::{decode_declet_bcd, encode_declet_bcd};
+use crate::{Class, DpdError, Sign};
+
+/// An IEEE 754-2008 decimal64 value in its DPD interchange encoding.
+///
+/// Bit layout (MSB first): 1 sign bit, a 5-bit combination field (two high
+/// exponent bits + most significant digit, or a special marker), an 8-bit
+/// exponent continuation, and a 50-bit coefficient continuation holding five
+/// declets.
+///
+/// # Example
+///
+/// ```
+/// use bcd::Bcd64;
+/// use dpd::{Decimal64, Sign};
+///
+/// # fn main() -> Result<(), dpd::DpdError> {
+/// // 902.4 = 9024 × 10^-1
+/// let x = Decimal64::from_parts(Sign::Positive, Bcd64::from_value(9024).unwrap(), -1)?;
+/// let parts = x.to_parts()?;
+/// assert_eq!(parts.coefficient.to_value(), 9024);
+/// assert_eq!(parts.exponent, -1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal64(u64);
+
+/// The sign, coefficient and exponent of a finite decimal64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parts64 {
+    /// The sign.
+    pub sign: Sign,
+    /// The coefficient, at most sixteen digits.
+    pub coefficient: Bcd64,
+    /// The exponent of the least significant coefficient digit (`q`).
+    pub exponent: i32,
+}
+
+impl Decimal64 {
+    /// Precision in decimal digits.
+    pub const PRECISION: u32 = 16;
+    /// Exponent bias applied to `q`.
+    pub const BIAS: i32 = 398;
+    /// Smallest exponent `q`.
+    pub const EMIN_Q: i32 = -398;
+    /// Largest exponent `q`.
+    pub const EMAX_Q: i32 = 369;
+    /// Largest adjusted exponent (IEEE `emax`).
+    pub const EMAX: i32 = 384;
+    /// Smallest adjusted exponent of a normal number (IEEE `emin`).
+    pub const EMIN: i32 = -383;
+
+    /// Positive zero (coefficient 0, exponent 0).
+    pub const ZERO: Decimal64 = Decimal64(0x2238_0000_0000_0000);
+    /// Positive infinity.
+    pub const INFINITY: Decimal64 = Decimal64(0x7800_0000_0000_0000);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Decimal64 = Decimal64(0xF800_0000_0000_0000);
+    /// A quiet NaN with zero payload.
+    pub const NAN: Decimal64 = Decimal64(0x7C00_0000_0000_0000);
+    /// A signaling NaN with zero payload.
+    pub const SNAN: Decimal64 = Decimal64(0x7E00_0000_0000_0000);
+
+    const COMBO_SHIFT: u32 = 58;
+    const EXP_CONT_SHIFT: u32 = 50;
+    const EXP_CONT_BITS: u32 = 8;
+    const DECLETS: u32 = 5;
+
+    /// Wraps raw interchange bits. Every bit pattern is a valid decimal64
+    /// (possibly non-canonical), so this cannot fail.
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        Decimal64(bits)
+    }
+
+    /// The raw interchange bits.
+    #[must_use]
+    pub const fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a finite value from sign, coefficient and exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdError::ExponentOutOfRange`] if `exponent` is outside
+    /// `[-398, 369]`. (Any sixteen-digit coefficient fits by construction.)
+    pub fn from_parts(sign: Sign, coefficient: Bcd64, exponent: i32) -> Result<Self, DpdError> {
+        if !(Self::EMIN_Q..=Self::EMAX_Q).contains(&exponent) {
+            return Err(DpdError::ExponentOutOfRange {
+                min: Self::EMIN_Q,
+                max: Self::EMAX_Q,
+            });
+        }
+        let biased = (exponent + Self::BIAS) as u64;
+        let exp_high = biased >> Self::EXP_CONT_BITS; // 0..=2
+        let exp_cont = biased & ((1 << Self::EXP_CONT_BITS) - 1);
+        let msd = coefficient.digit(15);
+        let combo = if msd <= 7 {
+            (exp_high << 3) | u64::from(msd)
+        } else {
+            0b11000 | (exp_high << 1) | u64::from(msd - 8)
+        };
+        let mut coeff_cont = 0u64;
+        for i in 0..Self::DECLETS {
+            // Declet i covers digits 3i..3i+2.
+            let triple = ((coefficient.raw() >> (12 * i)) & 0xFFF) as u16;
+            coeff_cont |= u64::from(encode_declet_bcd(triple)) << (10 * i);
+        }
+        let bits = (u64::from(sign == Sign::Negative) << 63)
+            | (combo << Self::COMBO_SHIFT)
+            | (exp_cont << Self::EXP_CONT_SHIFT)
+            | coeff_cont;
+        Ok(Decimal64(bits))
+    }
+
+    /// Classifies the value.
+    #[must_use]
+    pub fn classify(self) -> Class {
+        let combo = (self.0 >> Self::COMBO_SHIFT) & 0x1F;
+        if combo >> 1 == 0b1111 {
+            if combo & 1 == 0 {
+                Class::Infinity
+            } else if self.0 & (1 << 57) != 0 {
+                Class::SignalingNan
+            } else {
+                Class::QuietNan
+            }
+        } else {
+            Class::Finite
+        }
+    }
+
+    /// The sign bit (note IEEE NaNs also carry a sign).
+    #[must_use]
+    pub fn sign(self) -> Sign {
+        if self.0 >> 63 == 1 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        }
+    }
+
+    /// True for finite values.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.classify() == Class::Finite
+    }
+
+    /// True for quiet or signaling NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        matches!(self.classify(), Class::QuietNan | Class::SignalingNan)
+    }
+
+    /// True for positive or negative infinity.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self.classify() == Class::Infinity
+    }
+
+    /// True for finite zero (any exponent).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.is_finite()
+            && self
+                .to_parts()
+                .map(|p| p.coefficient.is_zero())
+                .unwrap_or(false)
+    }
+
+    /// Decomposes a finite value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdError::NotFinite`] for infinities and NaNs.
+    pub fn to_parts(self) -> Result<Parts64, DpdError> {
+        if !self.is_finite() {
+            return Err(DpdError::NotFinite);
+        }
+        let combo = (self.0 >> Self::COMBO_SHIFT) & 0x1F;
+        let (exp_high, msd) = if combo >> 3 == 0b11 {
+            ((combo >> 1) & 0b11, 8 + (combo & 1))
+        } else {
+            (combo >> 3, combo & 0b111)
+        };
+        let exp_cont = (self.0 >> Self::EXP_CONT_SHIFT) & ((1 << Self::EXP_CONT_BITS) - 1);
+        let biased = (exp_high << Self::EXP_CONT_BITS) | exp_cont;
+        let mut raw = u64::from(msd) << 60;
+        for i in 0..Self::DECLETS {
+            let declet = ((self.0 >> (10 * i)) & 0x3FF) as u16;
+            raw |= u64::from(decode_declet_bcd(declet)) << (12 * i);
+        }
+        Ok(Parts64 {
+            sign: self.sign(),
+            coefficient: Bcd64::from_raw_unchecked(raw),
+            exponent: biased as i32 - Self::BIAS,
+        })
+    }
+
+    /// The NaN payload (low coefficient digits), for diagnostics.
+    ///
+    /// Returns `None` for non-NaN values.
+    #[must_use]
+    pub fn nan_payload(self) -> Option<Bcd64> {
+        if !self.is_nan() {
+            return None;
+        }
+        let mut raw = 0u64;
+        for i in 0..Self::DECLETS {
+            let declet = ((self.0 >> (10 * i)) & 0x3FF) as u16;
+            raw |= u64::from(decode_declet_bcd(declet)) << (12 * i);
+        }
+        Some(Bcd64::from_raw_unchecked(raw))
+    }
+
+    /// True if the encoding is canonical: special values have zeroed unused
+    /// fields and every declet uses its canonical pattern.
+    #[must_use]
+    pub fn is_canonical(self) -> bool {
+        match self.classify() {
+            Class::Finite => {
+                let parts = self.to_parts().expect("finite");
+                Decimal64::from_parts(parts.sign, parts.coefficient, parts.exponent)
+                    .expect("decoded parts are in range")
+                    == self
+            }
+            Class::Infinity => self.0 & 0x03FF_FFFF_FFFF_FFFF == 0,
+            Class::QuietNan | Class::SignalingNan => {
+                let payload = self.nan_payload().expect("nan");
+                let mut canonical = 0u64;
+                for i in 0..Self::DECLETS {
+                    let triple = ((payload.raw() >> (12 * i)) & 0xFFF) as u16;
+                    canonical |= u64::from(encode_declet_bcd(triple)) << (10 * i);
+                }
+                // Exponent continuation below the signaling bit must be zero.
+                self.0 & 0x01FF_FFFF_FFFF_FFFF == canonical
+            }
+        }
+    }
+}
+
+impl Default for Decimal64 {
+    fn default() -> Self {
+        Decimal64::ZERO
+    }
+}
+
+impl std::fmt::Display for Decimal64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.classify() {
+            Class::Infinity => {
+                write!(f, "{}Infinity", if self.sign() == Sign::Negative { "-" } else { "" })
+            }
+            Class::QuietNan => write!(f, "NaN"),
+            Class::SignalingNan => write!(f, "sNaN"),
+            Class::Finite => {
+                let p = self.to_parts().expect("finite");
+                if p.sign == Sign::Negative {
+                    write!(f, "-")?;
+                }
+                if p.exponent == 0 {
+                    write!(f, "{}", p.coefficient.to_value())
+                } else {
+                    write!(f, "{}E{:+}", p.coefficient.to_value(), p.exponent)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_constant_decodes() {
+        let p = Decimal64::ZERO.to_parts().unwrap();
+        assert_eq!(p.coefficient, Bcd64::ZERO);
+        assert_eq!(p.exponent, 0);
+        assert_eq!(p.sign, Sign::Positive);
+        assert!(Decimal64::ZERO.is_zero());
+    }
+
+    #[test]
+    fn one_encodes_to_known_bits() {
+        // decimal64 1 = 0x2238000000000001 (a standard interchange vector).
+        let one = Decimal64::from_parts(Sign::Positive, Bcd64::ONE, 0).unwrap();
+        assert_eq!(one.to_bits(), 0x2238_0000_0000_0001);
+    }
+
+    #[test]
+    fn minus_7_50_encodes_to_known_bits() {
+        // -7.50 = -750e-2 = 0xA2300000000003D0 (IEEE 754-2008 example vector).
+        let v = Decimal64::from_parts(Sign::Negative, Bcd64::from_value(750).unwrap(), -2)
+            .unwrap();
+        assert_eq!(v.to_bits(), 0xA230_0000_0000_03D0);
+    }
+
+    #[test]
+    fn specials_classify() {
+        assert_eq!(Decimal64::INFINITY.classify(), Class::Infinity);
+        assert_eq!(Decimal64::NEG_INFINITY.classify(), Class::Infinity);
+        assert_eq!(Decimal64::NEG_INFINITY.sign(), Sign::Negative);
+        assert_eq!(Decimal64::NAN.classify(), Class::QuietNan);
+        assert_eq!(Decimal64::SNAN.classify(), Class::SignalingNan);
+        assert!(Decimal64::NAN.is_nan());
+        assert!(!Decimal64::NAN.is_finite());
+        assert!(Decimal64::INFINITY.is_infinite());
+    }
+
+    #[test]
+    fn parts_roundtrip_extremes() {
+        let cases = [
+            (Sign::Positive, 0u64, Decimal64::EMIN_Q),
+            (Sign::Negative, 9_999_999_999_999_999, Decimal64::EMAX_Q),
+            (Sign::Positive, 1, 0),
+            (Sign::Negative, 8_000_000_000_000_000, 100), // MSD 8 exercises the large-digit combo
+        ];
+        for (sign, coeff, exp) in cases {
+            let c = Bcd64::from_value(coeff).unwrap();
+            let v = Decimal64::from_parts(sign, c, exp).unwrap();
+            let p = v.to_parts().unwrap();
+            assert_eq!((p.sign, p.coefficient, p.exponent), (sign, c, exp));
+        }
+    }
+
+    #[test]
+    fn exponent_range_enforced() {
+        assert!(Decimal64::from_parts(Sign::Positive, Bcd64::ONE, -399).is_err());
+        assert!(Decimal64::from_parts(Sign::Positive, Bcd64::ONE, 370).is_err());
+    }
+
+    #[test]
+    fn canonical_checks() {
+        assert!(Decimal64::INFINITY.is_canonical());
+        assert!(Decimal64::NAN.is_canonical());
+        // Infinity with trailing garbage is non-canonical.
+        assert!(!Decimal64::from_bits(Decimal64::INFINITY.to_bits() | 1).is_canonical());
+        let v = Decimal64::from_parts(Sign::Positive, Bcd64::from_value(42).unwrap(), 5).unwrap();
+        assert!(v.is_canonical());
+    }
+
+    #[test]
+    fn nan_payload_roundtrip() {
+        let payload = 0x0000_0000_0012_3456u64; // packed BCD digits
+        let bits = Decimal64::NAN.to_bits()
+            | {
+                let mut cont = 0u64;
+                for i in 0..5 {
+                    let triple = ((payload >> (12 * i)) & 0xFFF) as u16;
+                    cont |= u64::from(crate::declet::encode_declet_bcd(triple)) << (10 * i);
+                }
+                cont
+            };
+        let v = Decimal64::from_bits(bits);
+        assert_eq!(v.nan_payload().unwrap().raw(), payload);
+        assert!(v.is_canonical());
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Decimal64::from_parts(Sign::Negative, Bcd64::from_value(9024).unwrap(), -1)
+            .unwrap();
+        assert_eq!(v.to_string(), "-9024E-1");
+        assert_eq!(Decimal64::NEG_INFINITY.to_string(), "-Infinity");
+        assert_eq!(Decimal64::NAN.to_string(), "NaN");
+    }
+}

@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors produced when encoding decimal interchange values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DpdError {
+    /// The coefficient has more digits than the format's precision.
+    CoefficientTooWide {
+        /// The format's precision in digits.
+        precision: u32,
+    },
+    /// The exponent is outside the format's representable range.
+    ExponentOutOfRange {
+        /// Smallest representable exponent (of the least significant digit).
+        min: i32,
+        /// Largest representable exponent.
+        max: i32,
+    },
+    /// A coefficient digit outside `0..=9` was supplied.
+    InvalidDigit {
+        /// The offending digit.
+        digit: u8,
+    },
+    /// The operation requires a finite number but the value is a special
+    /// (infinity or NaN).
+    NotFinite,
+}
+
+impl fmt::Display for DpdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DpdError::CoefficientTooWide { precision } => {
+                write!(f, "coefficient exceeds {precision} digits")
+            }
+            DpdError::ExponentOutOfRange { min, max } => {
+                write!(f, "exponent outside representable range [{min}, {max}]")
+            }
+            DpdError::InvalidDigit { digit } => {
+                write!(f, "digit {digit} is outside the decimal range 0..=9")
+            }
+            DpdError::NotFinite => write!(f, "value is not a finite number"),
+        }
+    }
+}
+
+impl std::error::Error for DpdError {}

@@ -1,0 +1,1330 @@
+//! The two-pass assembler core.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use riscv_isa::instr::{BranchOp, CsrOp, Instr, LoadOp, Op32Op, OpImm32Op, OpImmOp, OpOp, StoreOp};
+use riscv_isa::rocc::{CustomOpcode, RoccInstruction};
+use riscv_isa::{csr, Reg};
+
+use crate::{DATA_BASE, TEXT_BASE};
+
+/// Assembly error with the 1-based source line that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Section base addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsmOptions {
+    /// Where `.text` starts.
+    pub text_base: u64,
+    /// Where `.data` starts.
+    pub data_base: u64,
+}
+
+impl Default for AsmOptions {
+    fn default() -> Self {
+        AsmOptions {
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+        }
+    }
+}
+
+/// A contiguous loadable region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Load address of the first byte.
+    pub base: u64,
+    /// The bytes.
+    pub data: Vec<u8>,
+}
+
+/// An assembled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Entry point: the `start`, `_start` or `main` symbol, or the text base.
+    pub entry: u64,
+    /// The `.text` segment.
+    pub text: Segment,
+    /// The `.data` segment.
+    pub data: Segment,
+    /// All defined symbols.
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl Program {
+    /// Both segments, text first.
+    #[must_use]
+    pub fn segments(&self) -> [&Segment; 2] {
+        [&self.text, &self.data]
+    }
+
+    /// Looks up a symbol's address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total size in bytes across segments.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.text.data.len() + self.data.data.len()
+    }
+
+    /// Disassembles the text segment: `(address, word, text)` per
+    /// instruction, with symbol names where an address carries a label.
+    /// Undecodable words (there should be none in assembled output) are
+    /// rendered as `.word 0x...`.
+    #[must_use]
+    pub fn disassemble(&self) -> Vec<(u64, u32, String)> {
+        use std::collections::BTreeMap;
+        let labels: BTreeMap<u64, Vec<&str>> = {
+            let mut m: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+            for (name, &addr) in &self.symbols {
+                m.entry(addr).or_default().push(name);
+            }
+            m
+        };
+        let mut out = Vec::with_capacity(self.text.data.len() / 4);
+        for (i, chunk) in self.text.data.chunks_exact(4).enumerate() {
+            let addr = self.text.base + 4 * i as u64;
+            let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            let mut line = String::new();
+            if let Some(names) = labels.get(&addr) {
+                for name in names {
+                    line.push_str(&format!("{name}: "));
+                }
+            }
+            match riscv_isa::Instr::decode(word) {
+                Ok(instr) => line.push_str(&instr.to_string()),
+                Err(_) => line.push_str(&format!(".word {word:#010x}")),
+            }
+            out.push((addr, word, line));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Operand {
+    Reg(Reg),
+    Imm(i64),
+    Sym(String),
+    Mem { offset: i64, base: Reg },
+}
+
+impl Operand {
+    fn describe(&self) -> &'static str {
+        match self {
+            Operand::Reg(_) => "register",
+            Operand::Imm(_) => "immediate",
+            Operand::Sym(_) => "symbol",
+            Operand::Mem { .. } => "memory operand",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+#[derive(Debug)]
+struct PendingInstr {
+    line: usize,
+    mnemonic: String,
+    operands: Vec<Operand>,
+    addr: u64,
+    size: u64,
+}
+
+#[derive(Debug)]
+enum DataItem {
+    Bytes(Vec<u8>),
+    SymValue { size: u8, sym: String, line: usize },
+}
+
+/// Assembles `source` with default section bases.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (syntax, unknown mnemonic,
+/// undefined symbol, out-of-range immediate, …).
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_with(source, &AsmOptions::default())
+}
+
+/// Assembles `source` with explicit section bases.
+///
+/// # Errors
+///
+/// See [`assemble`].
+pub fn assemble_with(source: &str, options: &AsmOptions) -> Result<Program, AsmError> {
+    Assembler::new(options).run(source)
+}
+
+struct Assembler {
+    options: AsmOptions,
+    symbols: BTreeMap<String, u64>,
+    text_len: u64,
+    data_len: u64,
+    section: Section,
+    instrs: Vec<PendingInstr>,
+    data_items: Vec<(u64, DataItem)>,
+}
+
+impl Assembler {
+    fn new(options: &AsmOptions) -> Self {
+        Assembler {
+            options: *options,
+            symbols: BTreeMap::new(),
+            text_len: 0,
+            data_len: 0,
+            section: Section::Text,
+            instrs: Vec::new(),
+            data_items: Vec::new(),
+        }
+    }
+
+    fn here(&self) -> u64 {
+        match self.section {
+            Section::Text => self.options.text_base + self.text_len,
+            Section::Data => self.options.data_base + self.data_len,
+        }
+    }
+
+    fn advance(&mut self, bytes: u64) {
+        match self.section {
+            Section::Text => self.text_len += bytes,
+            Section::Data => self.data_len += bytes,
+        }
+    }
+
+    fn run(mut self, source: &str) -> Result<Program, AsmError> {
+        // Pass 1: parse, size, place, collect symbols.
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let err = |message: String| AsmError {
+                line: line_no,
+                message,
+            };
+            let mut rest = strip_comment(raw_line).trim();
+            // Peel leading labels.
+            while let Some(colon) = find_label_colon(rest) {
+                let name = rest[..colon].trim();
+                if !is_symbol(name) {
+                    return Err(err(format!("invalid label name {name:?}")));
+                }
+                if self.symbols.contains_key(name) {
+                    return Err(err(format!("duplicate symbol {name:?}")));
+                }
+                self.symbols.insert(name.to_string(), self.here());
+                rest = rest[colon + 1..].trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            let (mnemonic, operand_str) = split_mnemonic(rest);
+            let mnemonic = mnemonic.to_ascii_lowercase();
+            if let Some(directive) = mnemonic.strip_prefix('.') {
+                self.directive(directive, operand_str, line_no)?;
+            } else {
+                if self.section != Section::Text {
+                    return Err(err("instruction outside .text".into()));
+                }
+                let operands = parse_operands(operand_str)
+                    .map_err(|message| err(message))?;
+                let size = instr_size(&mnemonic, &operands)
+                    .map_err(|message| err(message))?;
+                self.instrs.push(PendingInstr {
+                    line: line_no,
+                    mnemonic,
+                    operands,
+                    addr: self.here(),
+                    size,
+                });
+                self.advance(size);
+            }
+        }
+
+        // Pass 2: expand and encode.
+        let mut text = vec![0u8; self.text_len as usize];
+        for pending in &self.instrs {
+            let instrs = expand(pending, &self.symbols).map_err(|message| AsmError {
+                line: pending.line,
+                message,
+            })?;
+            debug_assert_eq!(instrs.len() as u64 * 4, pending.size, "{}", pending.mnemonic);
+            for (i, instr) in instrs.iter().enumerate() {
+                let word = instr.encode().map_err(|e| AsmError {
+                    line: pending.line,
+                    message: e.to_string(),
+                })?;
+                let off = (pending.addr - self.options.text_base) as usize + 4 * i;
+                text[off..off + 4].copy_from_slice(&word.to_le_bytes());
+            }
+        }
+        let mut data = vec![0u8; self.data_len as usize];
+        for (addr, item) in &self.data_items {
+            let off = (*addr - self.options.data_base) as usize;
+            match item {
+                DataItem::Bytes(bytes) => data[off..off + bytes.len()].copy_from_slice(bytes),
+                DataItem::SymValue { size, sym, line } => {
+                    let value = *self.symbols.get(sym).ok_or_else(|| AsmError {
+                        line: *line,
+                        message: format!("undefined symbol {sym:?}"),
+                    })?;
+                    let bytes = value.to_le_bytes();
+                    data[off..off + *size as usize].copy_from_slice(&bytes[..*size as usize]);
+                }
+            }
+        }
+
+        let entry = ["start", "_start", "main"]
+            .iter()
+            .find_map(|name| self.symbols.get(*name).copied())
+            .unwrap_or(self.options.text_base);
+        Ok(Program {
+            entry,
+            text: Segment {
+                base: self.options.text_base,
+                data: text,
+            },
+            data: Segment {
+                base: self.options.data_base,
+                data,
+            },
+            symbols: self.symbols,
+        })
+    }
+
+    fn directive(&mut self, name: &str, args: &str, line: usize) -> Result<(), AsmError> {
+        let err = |message: String| AsmError { line, message };
+        match name {
+            "text" => self.section = Section::Text,
+            "data" => self.section = Section::Data,
+            "globl" | "global" | "type" | "size" | "section" => {}
+            "align" | "p2align" => {
+                let n: u32 = args
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad .align argument {args:?}")))?;
+                if n > 12 {
+                    return Err(err(format!(".align {n} too large")));
+                }
+                let alignment = 1u64 << n;
+                let pad = (alignment - (self.here() % alignment)) % alignment;
+                if pad > 0 {
+                    if self.section == Section::Text {
+                        if pad % 4 != 0 {
+                            return Err(err(".align in .text must be word-aligned".into()));
+                        }
+                        // Pad with NOPs so the gap stays executable.
+                        for _ in 0..pad / 4 {
+                            self.instrs.push(PendingInstr {
+                                line,
+                                mnemonic: "nop".into(),
+                                operands: vec![],
+                                addr: self.here(),
+                                size: 4,
+                            });
+                            self.advance(4);
+                        }
+                    } else {
+                        self.data_items
+                            .push((self.here(), DataItem::Bytes(vec![0; pad as usize])));
+                        self.advance(pad);
+                    }
+                }
+            }
+            "byte" | "half" | "word" | "dword" | "quad" => {
+                let size: u8 = match name {
+                    "byte" => 1,
+                    "half" => 2,
+                    "word" => 4,
+                    _ => 8,
+                };
+                if self.section != Section::Data {
+                    return Err(err(format!(".{name} outside .data")));
+                }
+                for piece in split_top_level(args) {
+                    let piece = piece.trim();
+                    if piece.is_empty() {
+                        return Err(err("empty data value".into()));
+                    }
+                    if let Ok(v) = parse_int(piece) {
+                        let min = -(1i128 << (8 * size - 1));
+                        let max = (1i128 << (8 * size)) - 1;
+                        if (v as i128) < min || (v as i128) > max {
+                            return Err(err(format!("value {v} does not fit .{name}")));
+                        }
+                        let bytes = (v as u64).to_le_bytes()[..size as usize].to_vec();
+                        self.data_items.push((self.here(), DataItem::Bytes(bytes)));
+                    } else if is_symbol(piece) {
+                        if size < 4 {
+                            return Err(err("symbol values need .word or .dword".into()));
+                        }
+                        self.data_items.push((
+                            self.here(),
+                            DataItem::SymValue {
+                                size,
+                                sym: piece.to_string(),
+                                line,
+                            },
+                        ));
+                    } else {
+                        return Err(err(format!("bad data value {piece:?}")));
+                    }
+                    self.advance(u64::from(size));
+                }
+            }
+            "ascii" | "asciz" | "string" => {
+                if self.section != Section::Data {
+                    return Err(err(format!(".{name} outside .data")));
+                }
+                let mut bytes = parse_string(args.trim()).map_err(|m| err(m))?;
+                if name != "ascii" {
+                    bytes.push(0);
+                }
+                let len = bytes.len() as u64;
+                self.data_items.push((self.here(), DataItem::Bytes(bytes)));
+                self.advance(len);
+            }
+            "space" | "zero" | "skip" => {
+                let n: u64 = args
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("bad .{name} argument {args:?}")))?;
+                if self.section == Section::Data {
+                    self.data_items
+                        .push((self.here(), DataItem::Bytes(vec![0; n as usize])));
+                    self.advance(n);
+                } else {
+                    return Err(err(format!(".{name} outside .data")));
+                }
+            }
+            "equ" | "set" => {
+                let parts: Vec<&str> = split_top_level(args).collect();
+                if parts.len() != 2 {
+                    return Err(err(".equ needs `name, value`".into()));
+                }
+                let sym = parts[0].trim();
+                if !is_symbol(sym) {
+                    return Err(err(format!("invalid .equ name {sym:?}")));
+                }
+                let value =
+                    parse_int(parts[1].trim()).map_err(|_| err("bad .equ value".into()))?;
+                self.symbols.insert(sym.to_string(), value as u64);
+            }
+            other => return Err(err(format!("unknown directive .{other}"))),
+        }
+        Ok(())
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if c == b'\\' {
+                i += 1;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else if c == b'"' {
+            in_str = true;
+        } else if c == b'#' || c == b';' {
+            return &line[..i];
+        } else if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            return &line[..i];
+        }
+        i += 1;
+    }
+    line
+}
+
+fn find_label_colon(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    // A colon inside a string or after whitespace-containing junk is not a
+    // label; labels are a leading identifier.
+    let candidate = s[..colon].trim();
+    if !candidate.is_empty() && is_symbol(candidate) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn split_mnemonic(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim()),
+        None => (s, ""),
+    }
+}
+
+fn is_symbol(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+fn split_top_level(s: &str) -> impl Iterator<Item = &str> {
+    let mut pieces = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut start = 0;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'(' if !in_str => depth += 1,
+            b')' if !in_str => depth -= 1,
+            b',' if !in_str && depth == 0 => {
+                pieces.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < s.len() || !pieces.is_empty() {
+        pieces.push(&s[start..]);
+    } else if !s.trim().is_empty() {
+        pieces.push(s);
+    }
+    pieces.into_iter().filter(|p| !p.trim().is_empty())
+}
+
+fn parse_int(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s.strip_prefix('+').unwrap_or(s)),
+    };
+    let value: i64 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+    {
+        u64::from_str_radix(&hex.replace('_', ""), 16).map_err(|e| e.to_string())? as i64
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u64::from_str_radix(&bin.replace('_', ""), 2).map_err(|e| e.to_string())? as i64
+    } else if body.len() == 3 && body.starts_with('\'') && body.ends_with('\'') {
+        i64::from(body.as_bytes()[1])
+    } else {
+        // Parse through u64 so the full 64-bit range is accepted
+        // (e.g. `-9223372036854775808` and `18446744073709551615`).
+        body.replace('_', "")
+            .parse::<u64>()
+            .map_err(|e| e.to_string())? as i64
+    };
+    Ok(if neg { value.wrapping_neg() } else { value })
+}
+
+fn parse_string(s: &str) -> Result<Vec<u8>, String> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+        .ok_or_else(|| format!("expected quoted string, got {s:?}"))?;
+    let mut out = Vec::with_capacity(inner.len());
+    let mut chars = inner.bytes();
+    while let Some(c) = chars.next() {
+        if c == b'\\' {
+            match chars.next() {
+                Some(b'n') => out.push(b'\n'),
+                Some(b't') => out.push(b'\t'),
+                Some(b'0') => out.push(0),
+                Some(b'\\') => out.push(b'\\'),
+                Some(b'"') => out.push(b'"'),
+                other => return Err(format!("bad escape {other:?}")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_operands(s: &str) -> Result<Vec<Operand>, String> {
+    split_top_level(s).map(|p| parse_operand(p.trim())).collect()
+}
+
+fn parse_operand(s: &str) -> Result<Operand, String> {
+    if s.is_empty() {
+        return Err("empty operand".into());
+    }
+    // offset(base) form
+    if let Some(open) = s.find('(') {
+        if s.ends_with(')') {
+            let offset_str = s[..open].trim();
+            let base_str = s[open + 1..s.len() - 1].trim();
+            let base: Reg = base_str
+                .parse()
+                .map_err(|_| format!("bad base register {base_str:?}"))?;
+            let offset = if offset_str.is_empty() {
+                0
+            } else {
+                parse_int(offset_str)?
+            };
+            return Ok(Operand::Mem { offset, base });
+        }
+    }
+    if let Ok(reg) = s.parse::<Reg>() {
+        return Ok(Operand::Reg(reg));
+    }
+    if let Ok(v) = parse_int(s) {
+        return Ok(Operand::Imm(v));
+    }
+    if is_symbol(s) {
+        return Ok(Operand::Sym(s.to_string()));
+    }
+    Err(format!("cannot parse operand {s:?}"))
+}
+
+/// Materialization sequence for a 64-bit immediate (the `li` expansion).
+pub(crate) fn li_sequence(rd: Reg, imm: i64) -> Vec<Instr> {
+    if (-2048..=2047).contains(&imm) {
+        vec![Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd,
+            rs1: Reg::ZERO,
+            imm: imm as i32,
+        }]
+    } else if i64::from(imm as i32) == imm {
+        let hi_pattern = ((imm.wrapping_add(0x800) >> 12) & 0xFFFFF) as u32;
+        let imm20 = ((hi_pattern << 12) as i32) >> 12;
+        let lo = ((imm << 52) >> 52) as i32;
+        let mut seq = vec![Instr::Lui { rd, imm20 }];
+        if lo != 0 {
+            seq.push(Instr::OpImm32 {
+                op: OpImm32Op::Addiw,
+                rd,
+                rs1: rd,
+                imm: lo,
+            });
+        }
+        seq
+    } else {
+        let lo12 = (imm << 52) >> 52;
+        let rest = imm.wrapping_sub(lo12);
+        let shift = rest.trailing_zeros();
+        let mut seq = li_sequence(rd, rest >> shift);
+        seq.push(Instr::OpImm {
+            op: OpImmOp::Slli,
+            rd,
+            rs1: rd,
+            imm: shift as i32,
+        });
+        if lo12 != 0 {
+            seq.push(Instr::OpImm {
+                op: OpImmOp::Addi,
+                rd,
+                rs1: rd,
+                imm: lo12 as i32,
+            });
+        }
+        seq
+    }
+}
+
+fn instr_size(mnemonic: &str, operands: &[Operand]) -> Result<u64, String> {
+    Ok(match mnemonic {
+        "li" => {
+            let (_, imm) = li_args(operands)?;
+            li_sequence(Reg::ZERO, imm).len() as u64 * 4
+        }
+        "la" | "call" | "tail" => 8,
+        _ => 4,
+    })
+}
+
+fn li_args(operands: &[Operand]) -> Result<(Reg, i64), String> {
+    match operands {
+        [Operand::Reg(rd), Operand::Imm(imm)] => Ok((*rd, *imm)),
+        [Operand::Reg(_), Operand::Sym(s)] => {
+            Err(format!("li needs a literal immediate; use `la` for symbol {s:?}"))
+        }
+        _ => Err("li needs `rd, immediate`".into()),
+    }
+}
+
+struct Ctx<'a> {
+    pending: &'a PendingInstr,
+    symbols: &'a BTreeMap<String, u64>,
+}
+
+impl Ctx<'_> {
+    fn reg(&self, i: usize) -> Result<Reg, String> {
+        match self.operand(i)? {
+            Operand::Reg(r) => Ok(*r),
+            other => Err(format!(
+                "operand {} of {} must be a register, got {}",
+                i + 1,
+                self.pending.mnemonic,
+                other.describe()
+            )),
+        }
+    }
+
+    fn imm(&self, i: usize) -> Result<i64, String> {
+        match self.operand(i)? {
+            Operand::Imm(v) => Ok(*v),
+            Operand::Sym(s) => self
+                .symbols
+                .get(s)
+                .map(|&v| v as i64)
+                .ok_or_else(|| format!("undefined symbol {s:?}")),
+            other => Err(format!(
+                "operand {} of {} must be an immediate, got {}",
+                i + 1,
+                self.pending.mnemonic,
+                other.describe()
+            )),
+        }
+    }
+
+    fn imm32(&self, i: usize) -> Result<i32, String> {
+        let v = self.imm(i)?;
+        i32::try_from(v).map_err(|_| format!("immediate {v} out of 32-bit range"))
+    }
+
+    fn mem(&self, i: usize) -> Result<(i64, Reg), String> {
+        match self.operand(i)? {
+            Operand::Mem { offset, base } => Ok((*offset, *base)),
+            // Accept a bare register as 0(reg).
+            Operand::Reg(r) => Ok((0, *r)),
+            other => Err(format!(
+                "operand {} of {} must be offset(base), got {}",
+                i + 1,
+                self.pending.mnemonic,
+                other.describe()
+            )),
+        }
+    }
+
+    /// Branch/jump target: a symbol (absolute address) or immediate
+    /// (pc-relative byte offset); returns the pc-relative offset.
+    fn target(&self, i: usize) -> Result<i32, String> {
+        let offset = match self.operand(i)? {
+            Operand::Sym(s) => {
+                let addr = self
+                    .symbols
+                    .get(s)
+                    .copied()
+                    .ok_or_else(|| format!("undefined symbol {s:?}"))?;
+                addr.wrapping_sub(self.pending.addr) as i64
+            }
+            Operand::Imm(v) => *v,
+            other => {
+                return Err(format!(
+                    "operand {} of {} must be a label or offset, got {}",
+                    i + 1,
+                    self.pending.mnemonic,
+                    other.describe()
+                ))
+            }
+        };
+        i32::try_from(offset).map_err(|_| format!("branch target {offset} out of range"))
+    }
+
+    fn operand(&self, i: usize) -> Result<&Operand, String> {
+        self.pending.operands.get(i).ok_or_else(|| {
+            format!(
+                "{} needs at least {} operands",
+                self.pending.mnemonic,
+                i + 1
+            )
+        })
+    }
+
+    fn expect_len(&self, n: usize) -> Result<(), String> {
+        if self.pending.operands.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} expects {} operands, got {}",
+                self.pending.mnemonic,
+                n,
+                self.pending.operands.len()
+            ))
+        }
+    }
+
+    /// `auipc`-style split of a pc-relative delta into (hi20, lo12).
+    fn pcrel(&self, i: usize) -> Result<(i32, i32), String> {
+        let delta = i64::from(self.target(i)?);
+        let hi_pattern = ((delta.wrapping_add(0x800) >> 12) & 0xFFFFF) as u32;
+        let hi = ((hi_pattern << 12) as i32) >> 12;
+        let lo = ((delta << 52) >> 52) as i32;
+        Ok((hi, lo))
+    }
+}
+
+fn csr_number(ctx: &Ctx, i: usize) -> Result<u16, String> {
+    match ctx.operand(i)? {
+        Operand::Imm(v) => u16::try_from(*v).map_err(|_| format!("csr number {v} out of range")),
+        Operand::Sym(name) => match name.as_str() {
+            "cycle" => Ok(csr::CYCLE),
+            "time" => Ok(csr::TIME),
+            "instret" => Ok(csr::INSTRET),
+            "mhartid" => Ok(csr::MHARTID),
+            other => Err(format!("unknown csr name {other:?}")),
+        },
+        other => Err(format!("csr operand must be a number or name, got {}", other.describe())),
+    }
+}
+
+fn op_for(mnemonic: &str) -> Option<OpOp> {
+    Some(match mnemonic {
+        "add" => OpOp::Add,
+        "sub" => OpOp::Sub,
+        "sll" => OpOp::Sll,
+        "slt" => OpOp::Slt,
+        "sltu" => OpOp::Sltu,
+        "xor" => OpOp::Xor,
+        "srl" => OpOp::Srl,
+        "sra" => OpOp::Sra,
+        "or" => OpOp::Or,
+        "and" => OpOp::And,
+        "mul" => OpOp::Mul,
+        "mulh" => OpOp::Mulh,
+        "mulhsu" => OpOp::Mulhsu,
+        "mulhu" => OpOp::Mulhu,
+        "div" => OpOp::Div,
+        "divu" => OpOp::Divu,
+        "rem" => OpOp::Rem,
+        "remu" => OpOp::Remu,
+        _ => return None,
+    })
+}
+
+fn op32_for(mnemonic: &str) -> Option<Op32Op> {
+    Some(match mnemonic {
+        "addw" => Op32Op::Addw,
+        "subw" => Op32Op::Subw,
+        "sllw" => Op32Op::Sllw,
+        "srlw" => Op32Op::Srlw,
+        "sraw" => Op32Op::Sraw,
+        "mulw" => Op32Op::Mulw,
+        "divw" => Op32Op::Divw,
+        "divuw" => Op32Op::Divuw,
+        "remw" => Op32Op::Remw,
+        "remuw" => Op32Op::Remuw,
+        _ => return None,
+    })
+}
+
+fn opimm_for(mnemonic: &str) -> Option<OpImmOp> {
+    Some(match mnemonic {
+        "addi" => OpImmOp::Addi,
+        "slti" => OpImmOp::Slti,
+        "sltiu" => OpImmOp::Sltiu,
+        "xori" => OpImmOp::Xori,
+        "ori" => OpImmOp::Ori,
+        "andi" => OpImmOp::Andi,
+        "slli" => OpImmOp::Slli,
+        "srli" => OpImmOp::Srli,
+        "srai" => OpImmOp::Srai,
+        _ => return None,
+    })
+}
+
+fn opimm32_for(mnemonic: &str) -> Option<OpImm32Op> {
+    Some(match mnemonic {
+        "addiw" => OpImm32Op::Addiw,
+        "slliw" => OpImm32Op::Slliw,
+        "srliw" => OpImm32Op::Srliw,
+        "sraiw" => OpImm32Op::Sraiw,
+        _ => return None,
+    })
+}
+
+fn load_for(mnemonic: &str) -> Option<LoadOp> {
+    Some(match mnemonic {
+        "lb" => LoadOp::Lb,
+        "lh" => LoadOp::Lh,
+        "lw" => LoadOp::Lw,
+        "ld" => LoadOp::Ld,
+        "lbu" => LoadOp::Lbu,
+        "lhu" => LoadOp::Lhu,
+        "lwu" => LoadOp::Lwu,
+        _ => return None,
+    })
+}
+
+fn store_for(mnemonic: &str) -> Option<StoreOp> {
+    Some(match mnemonic {
+        "sb" => StoreOp::Sb,
+        "sh" => StoreOp::Sh,
+        "sw" => StoreOp::Sw,
+        "sd" => StoreOp::Sd,
+        _ => return None,
+    })
+}
+
+fn branch_for(mnemonic: &str) -> Option<BranchOp> {
+    Some(match mnemonic {
+        "beq" => BranchOp::Beq,
+        "bne" => BranchOp::Bne,
+        "blt" => BranchOp::Blt,
+        "bge" => BranchOp::Bge,
+        "bltu" => BranchOp::Bltu,
+        "bgeu" => BranchOp::Bgeu,
+        _ => return None,
+    })
+}
+
+fn custom_for(mnemonic: &str) -> Option<CustomOpcode> {
+    Some(match mnemonic {
+        "custom0" => CustomOpcode::Custom0,
+        "custom1" => CustomOpcode::Custom1,
+        "custom2" => CustomOpcode::Custom2,
+        "custom3" => CustomOpcode::Custom3,
+        _ => return None,
+    })
+}
+
+fn expand(pending: &PendingInstr, symbols: &BTreeMap<String, u64>) -> Result<Vec<Instr>, String> {
+    let ctx = Ctx { pending, symbols };
+    let m = pending.mnemonic.as_str();
+
+    if let Some(op) = op_for(m) {
+        ctx.expect_len(3)?;
+        return Ok(vec![Instr::Op {
+            op,
+            rd: ctx.reg(0)?,
+            rs1: ctx.reg(1)?,
+            rs2: ctx.reg(2)?,
+        }]);
+    }
+    if let Some(op) = op32_for(m) {
+        ctx.expect_len(3)?;
+        return Ok(vec![Instr::Op32 {
+            op,
+            rd: ctx.reg(0)?,
+            rs1: ctx.reg(1)?,
+            rs2: ctx.reg(2)?,
+        }]);
+    }
+    if let Some(op) = opimm_for(m) {
+        ctx.expect_len(3)?;
+        return Ok(vec![Instr::OpImm {
+            op,
+            rd: ctx.reg(0)?,
+            rs1: ctx.reg(1)?,
+            imm: ctx.imm32(2)?,
+        }]);
+    }
+    if let Some(op) = opimm32_for(m) {
+        ctx.expect_len(3)?;
+        return Ok(vec![Instr::OpImm32 {
+            op,
+            rd: ctx.reg(0)?,
+            rs1: ctx.reg(1)?,
+            imm: ctx.imm32(2)?,
+        }]);
+    }
+    if let Some(op) = load_for(m) {
+        ctx.expect_len(2)?;
+        let (offset, base) = ctx.mem(1)?;
+        return Ok(vec![Instr::Load {
+            op,
+            rd: ctx.reg(0)?,
+            rs1: base,
+            offset: i32::try_from(offset).map_err(|_| "load offset out of range".to_string())?,
+        }]);
+    }
+    if let Some(op) = store_for(m) {
+        ctx.expect_len(2)?;
+        let (offset, base) = ctx.mem(1)?;
+        return Ok(vec![Instr::Store {
+            op,
+            rs2: ctx.reg(0)?,
+            rs1: base,
+            offset: i32::try_from(offset).map_err(|_| "store offset out of range".to_string())?,
+        }]);
+    }
+    if let Some(op) = branch_for(m) {
+        ctx.expect_len(3)?;
+        return Ok(vec![Instr::Branch {
+            op,
+            rs1: ctx.reg(0)?,
+            rs2: ctx.reg(1)?,
+            offset: ctx.target(2)?,
+        }]);
+    }
+    if let Some(opcode) = custom_for(m) {
+        ctx.expect_len(7)?;
+        return Ok(vec![Instr::Custom(RoccInstruction {
+            opcode,
+            funct7: u8::try_from(ctx.imm(0)?).map_err(|_| "funct7 out of range".to_string())?,
+            rd: ctx.reg(1)?,
+            rs1: ctx.reg(2)?,
+            rs2: ctx.reg(3)?,
+            xd: ctx.imm(4)? != 0,
+            xs1: ctx.imm(5)? != 0,
+            xs2: ctx.imm(6)? != 0,
+        })]);
+    }
+
+    Ok(match m {
+        "lui" => {
+            ctx.expect_len(2)?;
+            vec![Instr::Lui {
+                rd: ctx.reg(0)?,
+                imm20: ctx.imm32(1)?,
+            }]
+        }
+        "auipc" => {
+            ctx.expect_len(2)?;
+            vec![Instr::Auipc {
+                rd: ctx.reg(0)?,
+                imm20: ctx.imm32(1)?,
+            }]
+        }
+        "jal" => match pending.operands.len() {
+            1 => vec![Instr::Jal {
+                rd: Reg::RA,
+                offset: ctx.target(0)?,
+            }],
+            2 => vec![Instr::Jal {
+                rd: ctx.reg(0)?,
+                offset: ctx.target(1)?,
+            }],
+            n => return Err(format!("jal expects 1 or 2 operands, got {n}")),
+        },
+        "jalr" => match pending.operands.len() {
+            1 => {
+                let (offset, base) = ctx.mem(0)?;
+                vec![Instr::Jalr {
+                    rd: Reg::RA,
+                    rs1: base,
+                    offset: offset as i32,
+                }]
+            }
+            2 => {
+                let (offset, base) = ctx.mem(1)?;
+                vec![Instr::Jalr {
+                    rd: ctx.reg(0)?,
+                    rs1: base,
+                    offset: offset as i32,
+                }]
+            }
+            3 => vec![Instr::Jalr {
+                rd: ctx.reg(0)?,
+                rs1: ctx.reg(1)?,
+                offset: ctx.imm32(2)?,
+            }],
+            n => return Err(format!("jalr expects 1-3 operands, got {n}")),
+        },
+        "j" => {
+            ctx.expect_len(1)?;
+            vec![Instr::Jal {
+                rd: Reg::ZERO,
+                offset: ctx.target(0)?,
+            }]
+        }
+        "jr" => {
+            ctx.expect_len(1)?;
+            vec![Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: ctx.reg(0)?,
+                offset: 0,
+            }]
+        }
+        "ret" => {
+            ctx.expect_len(0)?;
+            vec![Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            }]
+        }
+        "call" => {
+            ctx.expect_len(1)?;
+            let (hi, lo) = ctx.pcrel(0)?;
+            vec![
+                Instr::Auipc {
+                    rd: Reg::RA,
+                    imm20: hi,
+                },
+                Instr::Jalr {
+                    rd: Reg::RA,
+                    rs1: Reg::RA,
+                    offset: lo,
+                },
+            ]
+        }
+        "tail" => {
+            ctx.expect_len(1)?;
+            let (hi, lo) = ctx.pcrel(0)?;
+            vec![
+                Instr::Auipc {
+                    rd: Reg::T1,
+                    imm20: hi,
+                },
+                Instr::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: Reg::T1,
+                    offset: lo,
+                },
+            ]
+        }
+        "la" => {
+            ctx.expect_len(2)?;
+            let rd = ctx.reg(0)?;
+            let (hi, lo) = ctx.pcrel(1)?;
+            vec![
+                Instr::Auipc { rd, imm20: hi },
+                Instr::OpImm {
+                    op: OpImmOp::Addi,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                },
+            ]
+        }
+        "li" => {
+            let (rd, imm) = li_args(&pending.operands)?;
+            li_sequence(rd, imm)
+        }
+        "nop" => vec![Instr::NOP],
+        "mv" => {
+            ctx.expect_len(2)?;
+            vec![Instr::OpImm {
+                op: OpImmOp::Addi,
+                rd: ctx.reg(0)?,
+                rs1: ctx.reg(1)?,
+                imm: 0,
+            }]
+        }
+        "not" => {
+            ctx.expect_len(2)?;
+            vec![Instr::OpImm {
+                op: OpImmOp::Xori,
+                rd: ctx.reg(0)?,
+                rs1: ctx.reg(1)?,
+                imm: -1,
+            }]
+        }
+        "neg" => {
+            ctx.expect_len(2)?;
+            vec![Instr::Op {
+                op: OpOp::Sub,
+                rd: ctx.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: ctx.reg(1)?,
+            }]
+        }
+        "negw" => {
+            ctx.expect_len(2)?;
+            vec![Instr::Op32 {
+                op: Op32Op::Subw,
+                rd: ctx.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: ctx.reg(1)?,
+            }]
+        }
+        "sext.w" => {
+            ctx.expect_len(2)?;
+            vec![Instr::OpImm32 {
+                op: OpImm32Op::Addiw,
+                rd: ctx.reg(0)?,
+                rs1: ctx.reg(1)?,
+                imm: 0,
+            }]
+        }
+        "seqz" => {
+            ctx.expect_len(2)?;
+            vec![Instr::OpImm {
+                op: OpImmOp::Sltiu,
+                rd: ctx.reg(0)?,
+                rs1: ctx.reg(1)?,
+                imm: 1,
+            }]
+        }
+        "snez" => {
+            ctx.expect_len(2)?;
+            vec![Instr::Op {
+                op: OpOp::Sltu,
+                rd: ctx.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: ctx.reg(1)?,
+            }]
+        }
+        "sltz" => {
+            ctx.expect_len(2)?;
+            vec![Instr::Op {
+                op: OpOp::Slt,
+                rd: ctx.reg(0)?,
+                rs1: ctx.reg(1)?,
+                rs2: Reg::ZERO,
+            }]
+        }
+        "sgtz" => {
+            ctx.expect_len(2)?;
+            vec![Instr::Op {
+                op: OpOp::Slt,
+                rd: ctx.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: ctx.reg(1)?,
+            }]
+        }
+        "beqz" | "bnez" | "blez" | "bgez" | "bltz" | "bgtz" => {
+            ctx.expect_len(2)?;
+            let rs = ctx.reg(0)?;
+            let offset = ctx.target(1)?;
+            let (op, rs1, rs2) = match m {
+                "beqz" => (BranchOp::Beq, rs, Reg::ZERO),
+                "bnez" => (BranchOp::Bne, rs, Reg::ZERO),
+                "blez" => (BranchOp::Bge, Reg::ZERO, rs),
+                "bgez" => (BranchOp::Bge, rs, Reg::ZERO),
+                "bltz" => (BranchOp::Blt, rs, Reg::ZERO),
+                _ => (BranchOp::Blt, Reg::ZERO, rs),
+            };
+            vec![Instr::Branch { op, rs1, rs2, offset }]
+        }
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            ctx.expect_len(3)?;
+            let a = ctx.reg(0)?;
+            let b = ctx.reg(1)?;
+            let offset = ctx.target(2)?;
+            let (op, rs1, rs2) = match m {
+                "bgt" => (BranchOp::Blt, b, a),
+                "ble" => (BranchOp::Bge, b, a),
+                "bgtu" => (BranchOp::Bltu, b, a),
+                _ => (BranchOp::Bgeu, b, a),
+            };
+            vec![Instr::Branch { op, rs1, rs2, offset }]
+        }
+        "csrrw" | "csrrs" | "csrrc" => {
+            ctx.expect_len(3)?;
+            let op = match m {
+                "csrrw" => CsrOp::Csrrw,
+                "csrrs" => CsrOp::Csrrs,
+                _ => CsrOp::Csrrc,
+            };
+            vec![Instr::Csr {
+                op,
+                rd: ctx.reg(0)?,
+                csr: csr_number(&ctx, 1)?,
+                rs1: ctx.reg(2)?,
+            }]
+        }
+        "csrrwi" | "csrrsi" | "csrrci" => {
+            ctx.expect_len(3)?;
+            let op = match m {
+                "csrrwi" => CsrOp::Csrrw,
+                "csrrsi" => CsrOp::Csrrs,
+                _ => CsrOp::Csrrc,
+            };
+            let imm = ctx.imm(2)?;
+            vec![Instr::CsrImm {
+                op,
+                rd: ctx.reg(0)?,
+                csr: csr_number(&ctx, 1)?,
+                imm: u8::try_from(imm).map_err(|_| "csr immediate out of range".to_string())?,
+            }]
+        }
+        "rdcycle" => {
+            ctx.expect_len(1)?;
+            vec![Instr::Csr {
+                op: CsrOp::Csrrs,
+                rd: ctx.reg(0)?,
+                csr: csr::CYCLE,
+                rs1: Reg::ZERO,
+            }]
+        }
+        "rdinstret" => {
+            ctx.expect_len(1)?;
+            vec![Instr::Csr {
+                op: CsrOp::Csrrs,
+                rd: ctx.reg(0)?,
+                csr: csr::INSTRET,
+                rs1: Reg::ZERO,
+            }]
+        }
+        "ecall" => {
+            ctx.expect_len(0)?;
+            vec![Instr::Ecall]
+        }
+        "ebreak" => {
+            ctx.expect_len(0)?;
+            vec![Instr::Ebreak]
+        }
+        "fence" => vec![Instr::Fence],
+        other => return Err(format!("unknown mnemonic {other:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn li_sequences_are_correct_shape() {
+        assert_eq!(li_sequence(Reg::A0, 0).len(), 1);
+        assert_eq!(li_sequence(Reg::A0, 2047).len(), 1);
+        assert_eq!(li_sequence(Reg::A0, 2048).len(), 2);
+        assert_eq!(li_sequence(Reg::A0, -4096).len(), 1); // lui only
+        assert!(li_sequence(Reg::A0, 0x1234_5678_9ABC_DEF0).len() <= 8);
+    }
+
+    #[test]
+    fn parse_int_forms() {
+        assert_eq!(parse_int("42").unwrap(), 42);
+        assert_eq!(parse_int("-7").unwrap(), -7);
+        assert_eq!(parse_int("0x10").unwrap(), 16);
+        assert_eq!(parse_int("0b101").unwrap(), 5);
+        assert_eq!(parse_int("'A'").unwrap(), 65);
+        assert_eq!(parse_int("1_000").unwrap(), 1000);
+        assert!(parse_int("foo").is_err());
+    }
+
+    #[test]
+    fn operand_forms() {
+        assert_eq!(parse_operand("a0").unwrap(), Operand::Reg(Reg::A0));
+        assert_eq!(parse_operand("-8").unwrap(), Operand::Imm(-8));
+        assert_eq!(
+            parse_operand("16(sp)").unwrap(),
+            Operand::Mem {
+                offset: 16,
+                base: Reg::SP
+            }
+        );
+        assert_eq!(
+            parse_operand("(t0)").unwrap(),
+            Operand::Mem {
+                offset: 0,
+                base: Reg::T0
+            }
+        );
+        assert_eq!(parse_operand("loop").unwrap(), Operand::Sym("loop".into()));
+        assert!(parse_operand("12(xx)").is_err());
+    }
+
+    #[test]
+    fn comment_stripping() {
+        assert_eq!(strip_comment("add a0, a1, a2 # hi"), "add a0, a1, a2 ");
+        assert_eq!(strip_comment("nop // c"), "nop ");
+        assert_eq!(strip_comment("nop ; c"), "nop ");
+        assert_eq!(strip_comment(r#".ascii "a#b" # real"#), r#".ascii "a#b" "#);
+    }
+}

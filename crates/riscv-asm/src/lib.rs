@@ -1,0 +1,54 @@
+//! A two-pass RV64IM assembler.
+//!
+//! This crate replaces the GNU cross-toolchain of the paper's framework: the
+//! evaluated guest kernels are authored in textual RISC-V assembly (emitted
+//! by the `codesign` crate or written by hand), assembled here into real
+//! RV64IM machine code, and executed on the functional, cycle-accurate and
+//! atomic simulators.
+//!
+//! Supported surface:
+//!
+//! * all RV64IM instructions plus `ecall`/`ebreak`/`fence`/Zicsr;
+//! * pseudo-instructions: `nop`, `li` (full 64-bit materialization), `la`,
+//!   `mv`, `not`, `neg`, `sext.w`, `seqz`/`snez`/`sltz`/`sgtz`,
+//!   `beqz`/`bnez`/`blez`/`bgez`/`bltz`/`bgtz`, `bgt`/`ble`/`bgtu`/`bleu`,
+//!   `j`, `jr`, `call`, `ret`, `rdcycle`, `rdinstret`;
+//! * RoCC custom instructions: `custom0 funct7, rd, rs1, rs2, xd, xs1, xs2`
+//!   (likewise `custom1..3`);
+//! * directives: `.text`, `.data`, `.align`, `.byte`, `.half`, `.word`,
+//!   `.dword`/`.quad`, `.ascii`, `.asciz`, `.space`/`.zero`, `.globl`,
+//!   `.equ`;
+//! * `#`, `//` and `;` comments, decimal/hex/binary/char immediates.
+//!
+//! # Example
+//!
+//! ```
+//! use riscv_asm::assemble;
+//!
+//! let program = assemble(r#"
+//!     .text
+//!     start:
+//!         li   a0, 42
+//!         li   a7, 93       # exit
+//!         ecall
+//! "#).unwrap();
+//! assert_eq!(program.entry, riscv_asm::TEXT_BASE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod source;
+
+pub use asm::{assemble, assemble_with, AsmError, AsmOptions, Program, Segment};
+pub use source::SourceBuilder;
+
+/// Default base address of the `.text` section.
+pub const TEXT_BASE: u64 = 0x8000_0000;
+
+/// Default base address of the `.data` section.
+pub const DATA_BASE: u64 = 0x8010_0000;
+
+/// Conventional initial stack pointer (grows down, away from both sections).
+pub const STACK_TOP: u64 = 0x8100_0000;

@@ -1,0 +1,336 @@
+//! Assemble-and-run tests: golden guest programs executed on the functional
+//! simulator.
+
+use riscv_asm::{assemble, Program, STACK_TOP};
+use riscv_isa::Reg;
+use riscv_sim::Cpu;
+
+fn run(source: &str) -> (i64, Cpu) {
+    let program = assemble(source).unwrap_or_else(|e| panic!("assembly failed: {e}"));
+    let mut cpu = load(&program);
+    let code = cpu.run(10_000_000).expect("program faulted");
+    (code, cpu)
+}
+
+fn load(program: &Program) -> Cpu {
+    let mut cpu = Cpu::new();
+    for seg in program.segments() {
+        if !seg.data.is_empty() {
+            cpu.memory.load_bytes(seg.base, &seg.data).unwrap();
+        }
+    }
+    cpu.set_pc(program.entry);
+    cpu.set_reg(Reg::SP, STACK_TOP);
+    cpu
+}
+
+#[test]
+fn exit_code_is_returned() {
+    let (code, _) = run("
+        start:
+            li a0, 42
+            li a7, 93
+            ecall
+    ");
+    assert_eq!(code, 42);
+}
+
+#[test]
+fn fibonacci_iterative() {
+    let (code, _) = run("
+        start:
+            li t0, 0        # fib(0)
+            li t1, 1        # fib(1)
+            li t2, 20       # n
+        loop:
+            add t3, t0, t1
+            mv  t0, t1
+            mv  t1, t3
+            addi t2, t2, -1
+            bgtz t2, loop
+            mv a0, t0
+            li a7, 93
+            ecall
+    ");
+    assert_eq!(code, 6765); // fib(20)
+}
+
+#[test]
+fn function_call_and_stack() {
+    let (code, _) = run("
+        start:
+            li a0, 5
+            call square
+            li a7, 93
+            ecall
+        square:
+            addi sp, sp, -16
+            sd ra, 8(sp)
+            mul a0, a0, a0
+            ld ra, 8(sp)
+            addi sp, sp, 16
+            ret
+    ");
+    assert_eq!(code, 25);
+}
+
+#[test]
+fn data_section_and_loads() {
+    let (code, _) = run("
+        start:
+            la t0, values
+            ld a0, 0(t0)
+            ld t1, 8(t0)
+            add a0, a0, t1
+            lw t2, 16(t0)
+            add a0, a0, t2
+            li a7, 93
+            ecall
+        .data
+        values:
+            .dword 100, 200
+            .word 50
+    ");
+    assert_eq!(code, 350);
+}
+
+#[test]
+fn string_data_and_write_syscall() {
+    let (code, cpu) = run(r#"
+        start:
+            li a0, 1
+            la a1, msg
+            li a2, 14
+            li a7, 64
+            ecall
+            li a0, 0
+            li a7, 93
+            ecall
+        .data
+        msg:
+            .asciz "hello, rocket\n"
+    "#);
+    assert_eq!(code, 0);
+    assert_eq!(cpu.console, b"hello, rocket\n");
+}
+
+#[test]
+fn li_wide_constants() {
+    for value in [
+        0i64,
+        2047,
+        -2048,
+        0x7FFF_FFFF,
+        -0x8000_0000,
+        0x1234_5678,
+        0x0008_0000_0000,
+        0x1234_5678_9ABC_DEF0u64 as i64,
+        -1,
+        i64::MIN,
+        i64::MAX,
+    ] {
+        let source = format!(
+            "
+            start:
+                li a0, {value}
+                li a7, 93
+                ecall
+            "
+        );
+        let program = assemble(&source).unwrap();
+        let mut cpu = load(&program);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), value as u64, "li {value:#x}");
+    }
+}
+
+#[test]
+fn equ_and_symbol_immediates() {
+    let (code, _) = run("
+        .equ ANSWER, 42
+        start:
+            li a0, 0
+            addi a0, a0, ANSWER
+            li a7, 93
+            ecall
+    ");
+    assert_eq!(code, 42);
+}
+
+#[test]
+fn branch_pseudo_instructions() {
+    let (code, _) = run("
+        start:
+            li t0, 5
+            li t1, 3
+            li a0, 0
+            bgt t0, t1, took_bgt
+            li a7, 93
+            ecall
+        took_bgt:
+            addi a0, a0, 1
+            ble t1, t0, took_ble
+            li a7, 93
+            ecall
+        took_ble:
+            addi a0, a0, 1
+            bltz t0, not_taken
+            addi a0, a0, 1
+        not_taken:
+            li a7, 93
+            ecall
+    ");
+    assert_eq!(code, 3);
+}
+
+#[test]
+fn rdcycle_and_markers() {
+    let (_, cpu) = run("
+        start:
+            li a0, 1
+            li a7, 0x700
+            ecall            # mark 1
+            nop
+            nop
+            li a0, 2
+            li a7, 0x700
+            ecall            # mark 2
+            li a0, 0
+            li a7, 93
+            ecall
+    ");
+    assert_eq!(cpu.markers.len(), 2);
+    assert!(cpu.markers[1].instret > cpu.markers[0].instret);
+}
+
+#[test]
+fn rocc_custom_syntax_assembles() {
+    // No accelerator attached, so executing would fault; just check encoding.
+    let program = assemble("
+        start:
+            custom0 4, a2, a1, a0, 1, 1, 1
+    ")
+    .unwrap();
+    let word = u32::from_le_bytes(program.text.data[0..4].try_into().unwrap());
+    assert_eq!(word, 0x08A5_F60B);
+}
+
+#[test]
+fn word_aligned_align_directive() {
+    let program = assemble("
+        start:
+            nop
+        .align 4
+        target:
+            nop
+        .data
+            .byte 1
+        .align 3
+        d2:
+            .dword 5
+    ")
+    .unwrap();
+    assert_eq!(program.symbol("target").unwrap() % 16, 0);
+    assert_eq!(program.symbol("d2").unwrap() % 8, 0);
+}
+
+#[test]
+fn errors_carry_line_numbers() {
+    let err = assemble("start:\n    bogus a0, a1\n").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.message.contains("bogus"));
+
+    let err2 = assemble("    li a0, undefined_sym\n").unwrap_err();
+    assert!(err2.message.contains("la"));
+
+    let err3 = assemble("x:\nx:\n").unwrap_err();
+    assert!(err3.message.contains("duplicate"));
+}
+
+#[test]
+fn recursive_function_factorial() {
+    let (code, _) = run("
+        start:
+            li a0, 10
+            call fact
+            li a7, 93
+            ecall
+        fact:
+            addi sp, sp, -16
+            sd ra, 8(sp)
+            sd s0, 0(sp)
+            mv s0, a0
+            li t0, 2
+            blt a0, t0, base
+            addi a0, a0, -1
+            call fact
+            mul a0, a0, s0
+            j done
+        base:
+            li a0, 1
+        done:
+            ld ra, 8(sp)
+            ld s0, 0(sp)
+            addi sp, sp, 16
+            ret
+    ");
+    assert_eq!(code, 3_628_800);
+}
+
+#[test]
+fn memcpy_loop() {
+    let (code, cpu) = run(r#"
+        start:
+            la t0, src
+            la t1, dst
+            li t2, 16
+        copy:
+            lb t3, 0(t0)
+            sb t3, 0(t1)
+            addi t0, t0, 1
+            addi t1, t1, 1
+            addi t2, t2, -1
+            bnez t2, copy
+            la t1, dst
+            ld a0, 8(t1)
+            li a7, 93
+            ecall
+        .data
+        src:
+            .dword 0x1111111111111111
+            .dword 0x2222222222222222
+        dst:
+            .space 16
+    "#);
+    assert_eq!(code as u64, 0x2222_2222_2222_2222);
+    let dst = cpu.memory.read_u64(assemble_symbol("dst")).unwrap();
+    assert_eq!(dst, 0x1111_1111_1111_1111);
+}
+
+fn assemble_symbol(_name: &str) -> u64 {
+    // dst = DATA_BASE + 16 in the program above.
+    riscv_asm::DATA_BASE + 16
+}
+
+#[test]
+fn disassembly_roundtrips_through_the_decoder() {
+    let program = assemble("
+        start:
+            li   a0, 42
+            call helper
+            li   a7, 93
+            ecall
+        helper:
+            addi a0, a0, 1
+            ret
+    ")
+    .unwrap();
+    let listing = program.disassemble();
+    assert_eq!(listing.len() * 4, program.text.data.len());
+    let text: Vec<String> = listing.iter().map(|(_, _, s)| s.clone()).collect();
+    assert!(text.iter().any(|l| l.starts_with("start: ")), "{text:?}");
+    assert!(text.iter().any(|l| l.contains("ecall")));
+    assert!(text.iter().any(|l| l.starts_with("helper: addi")));
+    // No undecodable words in assembled output.
+    assert!(text.iter().all(|l| !l.contains(".word")));
+}

@@ -1,0 +1,39 @@
+//! Control and status register numbers used by the framework.
+
+/// `cycle` — cycle counter for `RDCYCLE`, the instruction the paper uses to
+/// count cycles ("We use RISC-V RDCYCLE instruction to count the number of
+/// cycles").
+pub const CYCLE: u16 = 0xC00;
+
+/// `time` — wall-clock timer.
+pub const TIME: u16 = 0xC01;
+
+/// `instret` — instructions-retired counter for `RDINSTRET`.
+pub const INSTRET: u16 = 0xC02;
+
+/// `mhartid` — hardware thread id (always zero in the single-core models).
+pub const MHARTID: u16 = 0xF14;
+
+/// Returns the canonical name of a CSR number, if known.
+#[must_use]
+pub fn name(csr: u16) -> Option<&'static str> {
+    match csr {
+        CYCLE => Some("cycle"),
+        TIME => Some("time"),
+        INSTRET => Some("instret"),
+        MHARTID => Some("mhartid"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(name(CYCLE), Some("cycle"));
+        assert_eq!(name(INSTRET), Some("instret"));
+        assert_eq!(name(0x123), None);
+    }
+}

@@ -1,0 +1,378 @@
+//! Instruction decoding from 32-bit words.
+
+use std::fmt;
+
+use crate::instr::{BranchOp, CsrOp, Instr, LoadOp, Op32Op, OpImm32Op, OpImmOp, OpOp, StoreOp};
+use crate::rocc::RoccInstruction;
+use crate::Reg;
+
+/// Errors produced when a word is not a recognized RV64IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bit pattern matches no implemented instruction.
+    Unrecognized(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::Unrecognized(w) => write!(f, "unrecognized instruction {w:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(word: u32) -> Reg {
+    Reg::new(((word >> 7) & 0x1F) as u8)
+}
+
+fn rs1(word: u32) -> Reg {
+    Reg::new(((word >> 15) & 0x1F) as u8)
+}
+
+fn rs2(word: u32) -> Reg {
+    Reg::new(((word >> 20) & 0x1F) as u8)
+}
+
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+/// Sign-extends the low `bits` bits of `v`.
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+fn imm_i(word: u32) -> i32 {
+    sext(word >> 20, 12)
+}
+
+fn imm_s(word: u32) -> i32 {
+    sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+}
+
+fn imm_b(word: u32) -> i32 {
+    let imm = (((word >> 31) & 1) << 12)
+        | (((word >> 7) & 1) << 11)
+        | (((word >> 25) & 0x3F) << 5)
+        | (((word >> 8) & 0xF) << 1);
+    sext(imm, 13)
+}
+
+fn imm_j(word: u32) -> i32 {
+    let imm = (((word >> 31) & 1) << 20)
+        | (((word >> 12) & 0xFF) << 12)
+        | (((word >> 20) & 1) << 11)
+        | (((word >> 21) & 0x3FF) << 1);
+    sext(imm, 21)
+}
+
+impl Instr {
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Unrecognized`] for bit patterns outside the
+    /// implemented RV64IM + Zicsr + custom-opcode subset.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let opcode = word & 0x7F;
+        let err = Err(DecodeError::Unrecognized(word));
+        Ok(match opcode {
+            0b0110111 => Instr::Lui {
+                rd: rd(word),
+                imm20: sext(word >> 12, 20),
+            },
+            0b0010111 => Instr::Auipc {
+                rd: rd(word),
+                imm20: sext(word >> 12, 20),
+            },
+            0b1101111 => Instr::Jal {
+                rd: rd(word),
+                offset: imm_j(word),
+            },
+            0b1100111 => {
+                if funct3(word) != 0 {
+                    return err;
+                }
+                Instr::Jalr {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    offset: imm_i(word),
+                }
+            }
+            0b1100011 => {
+                let op = match funct3(word) {
+                    0b000 => BranchOp::Beq,
+                    0b001 => BranchOp::Bne,
+                    0b100 => BranchOp::Blt,
+                    0b101 => BranchOp::Bge,
+                    0b110 => BranchOp::Bltu,
+                    0b111 => BranchOp::Bgeu,
+                    _ => return err,
+                };
+                Instr::Branch {
+                    op,
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                    offset: imm_b(word),
+                }
+            }
+            0b0000011 => {
+                let op = match funct3(word) {
+                    0b000 => LoadOp::Lb,
+                    0b001 => LoadOp::Lh,
+                    0b010 => LoadOp::Lw,
+                    0b011 => LoadOp::Ld,
+                    0b100 => LoadOp::Lbu,
+                    0b101 => LoadOp::Lhu,
+                    0b110 => LoadOp::Lwu,
+                    _ => return err,
+                };
+                Instr::Load {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    offset: imm_i(word),
+                }
+            }
+            0b0100011 => {
+                let op = match funct3(word) {
+                    0b000 => StoreOp::Sb,
+                    0b001 => StoreOp::Sh,
+                    0b010 => StoreOp::Sw,
+                    0b011 => StoreOp::Sd,
+                    _ => return err,
+                };
+                Instr::Store {
+                    op,
+                    rs2: rs2(word),
+                    rs1: rs1(word),
+                    offset: imm_s(word),
+                }
+            }
+            0b0010011 => {
+                let f3 = funct3(word);
+                let op = match f3 {
+                    0b000 => OpImmOp::Addi,
+                    0b010 => OpImmOp::Slti,
+                    0b011 => OpImmOp::Sltiu,
+                    0b100 => OpImmOp::Xori,
+                    0b110 => OpImmOp::Ori,
+                    0b111 => OpImmOp::Andi,
+                    0b001 => {
+                        if word >> 26 != 0 {
+                            return err;
+                        }
+                        return Ok(Instr::OpImm {
+                            op: OpImmOp::Slli,
+                            rd: rd(word),
+                            rs1: rs1(word),
+                            imm: ((word >> 20) & 0x3F) as i32,
+                        });
+                    }
+                    0b101 => {
+                        let shtop = word >> 26;
+                        let op = match shtop {
+                            0b000000 => OpImmOp::Srli,
+                            0b010000 => OpImmOp::Srai,
+                            _ => return err,
+                        };
+                        return Ok(Instr::OpImm {
+                            op,
+                            rd: rd(word),
+                            rs1: rs1(word),
+                            imm: ((word >> 20) & 0x3F) as i32,
+                        });
+                    }
+                    _ => return err,
+                };
+                Instr::OpImm {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    imm: imm_i(word),
+                }
+            }
+            0b0011011 => match funct3(word) {
+                0b000 => Instr::OpImm32 {
+                    op: OpImm32Op::Addiw,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    imm: imm_i(word),
+                },
+                0b001 if funct7(word) == 0 => Instr::OpImm32 {
+                    op: OpImm32Op::Slliw,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    imm: ((word >> 20) & 0x1F) as i32,
+                },
+                0b101 => {
+                    let op = match funct7(word) {
+                        0b0000000 => OpImm32Op::Srliw,
+                        0b0100000 => OpImm32Op::Sraiw,
+                        _ => return err,
+                    };
+                    Instr::OpImm32 {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        imm: ((word >> 20) & 0x1F) as i32,
+                    }
+                }
+                _ => return err,
+            },
+            0b0110011 => {
+                let op = match (funct7(word), funct3(word)) {
+                    (0b0000000, 0b000) => OpOp::Add,
+                    (0b0100000, 0b000) => OpOp::Sub,
+                    (0b0000000, 0b001) => OpOp::Sll,
+                    (0b0000000, 0b010) => OpOp::Slt,
+                    (0b0000000, 0b011) => OpOp::Sltu,
+                    (0b0000000, 0b100) => OpOp::Xor,
+                    (0b0000000, 0b101) => OpOp::Srl,
+                    (0b0100000, 0b101) => OpOp::Sra,
+                    (0b0000000, 0b110) => OpOp::Or,
+                    (0b0000000, 0b111) => OpOp::And,
+                    (0b0000001, 0b000) => OpOp::Mul,
+                    (0b0000001, 0b001) => OpOp::Mulh,
+                    (0b0000001, 0b010) => OpOp::Mulhsu,
+                    (0b0000001, 0b011) => OpOp::Mulhu,
+                    (0b0000001, 0b100) => OpOp::Div,
+                    (0b0000001, 0b101) => OpOp::Divu,
+                    (0b0000001, 0b110) => OpOp::Rem,
+                    (0b0000001, 0b111) => OpOp::Remu,
+                    _ => return err,
+                };
+                Instr::Op {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }
+            }
+            0b0111011 => {
+                let op = match (funct7(word), funct3(word)) {
+                    (0b0000000, 0b000) => Op32Op::Addw,
+                    (0b0100000, 0b000) => Op32Op::Subw,
+                    (0b0000000, 0b001) => Op32Op::Sllw,
+                    (0b0000000, 0b101) => Op32Op::Srlw,
+                    (0b0100000, 0b101) => Op32Op::Sraw,
+                    (0b0000001, 0b000) => Op32Op::Mulw,
+                    (0b0000001, 0b100) => Op32Op::Divw,
+                    (0b0000001, 0b101) => Op32Op::Divuw,
+                    (0b0000001, 0b110) => Op32Op::Remw,
+                    (0b0000001, 0b111) => Op32Op::Remuw,
+                    _ => return err,
+                };
+                Instr::Op32 {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }
+            }
+            0b0001111 => Instr::Fence,
+            0b1110011 => {
+                let f3 = funct3(word);
+                match f3 {
+                    0b000 => match word >> 20 {
+                        0 if rd(word) == Reg::ZERO && rs1(word) == Reg::ZERO => Instr::Ecall,
+                        1 if rd(word) == Reg::ZERO && rs1(word) == Reg::ZERO => Instr::Ebreak,
+                        _ => return err,
+                    },
+                    0b001 | 0b010 | 0b011 => {
+                        let op = match f3 {
+                            0b001 => CsrOp::Csrrw,
+                            0b010 => CsrOp::Csrrs,
+                            _ => CsrOp::Csrrc,
+                        };
+                        Instr::Csr {
+                            op,
+                            rd: rd(word),
+                            csr: (word >> 20) as u16,
+                            rs1: rs1(word),
+                        }
+                    }
+                    0b101 | 0b110 | 0b111 => {
+                        let op = match f3 {
+                            0b101 => CsrOp::Csrrw,
+                            0b110 => CsrOp::Csrrs,
+                            _ => CsrOp::Csrrc,
+                        };
+                        Instr::CsrImm {
+                            op,
+                            rd: rd(word),
+                            csr: (word >> 20) as u16,
+                            imm: ((word >> 15) & 0x1F) as u8,
+                        }
+                    }
+                    _ => return err,
+                }
+            }
+            _ => {
+                if let Ok(rocc) = RoccInstruction::decode(word) {
+                    Instr::Custom(rocc)
+                } else {
+                    return err;
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_golden() {
+        assert_eq!(Instr::decode(0x0000_0013).unwrap(), Instr::NOP);
+        assert_eq!(
+            Instr::decode(0x00C5_8533).unwrap(),
+            Instr::Op {
+                op: OpOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+        );
+        assert_eq!(Instr::decode(0x0000_0073).unwrap(), Instr::Ecall);
+        assert_eq!(Instr::decode(0x0010_0073).unwrap(), Instr::Ebreak);
+    }
+
+    #[test]
+    fn decode_negative_immediates() {
+        // addi a0, a0, -1 = 0xFFF50513
+        match Instr::decode(0xFFF5_0513).unwrap() {
+            Instr::OpImm {
+                op: OpImmOp::Addi,
+                imm,
+                ..
+            } => assert_eq!(imm, -1),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Instr::decode(0xFFFF_FFFF).is_err());
+        assert!(Instr::decode(0x0000_0000).is_err());
+    }
+
+    #[test]
+    fn rocc_words_decode_as_custom() {
+        match Instr::decode(0x08A5_F60B).unwrap() {
+            Instr::Custom(r) => {
+                assert_eq!(r.funct7, 4);
+                assert!(r.xd && r.xs1 && r.xs2);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Instruction encoding to 32-bit words.
+
+use std::fmt;
+
+use crate::instr::{Instr, Op32Op, OpImm32Op, OpImmOp, OpOp};
+use crate::Reg;
+
+/// Errors produced when an instruction's fields do not fit its encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// An immediate does not fit the field width or alignment.
+    ImmediateOutOfRange {
+        /// Which instruction field.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EncodeError::ImmediateOutOfRange { what, value } => {
+                write!(f, "{what} immediate {value} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn check_i12(what: &'static str, v: i32) -> Result<u32, EncodeError> {
+    if (-2048..=2047).contains(&v) {
+        Ok((v as u32) & 0xFFF)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange {
+            what,
+            value: v.into(),
+        })
+    }
+}
+
+fn r_type(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+fn i_type(imm12: u32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    (imm12 << 20) | (u32::from(rs1) << 15) | (funct3 << 12) | (u32::from(rd) << 7) | opcode
+}
+
+impl Instr {
+    /// Encodes into the 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when an immediate does not fit its field
+    /// (e.g. a branch offset beyond ±4 KiB or a misaligned jump target).
+    pub fn encode(&self) -> Result<u32, EncodeError> {
+        Ok(match *self {
+            Instr::Lui { rd, imm20 } => {
+                if !(-(1 << 19)..(1 << 19)).contains(&imm20) && imm20 as u32 > 0xFFFFF {
+                    return Err(EncodeError::ImmediateOutOfRange {
+                        what: "lui",
+                        value: imm20.into(),
+                    });
+                }
+                (((imm20 as u32) & 0xFFFFF) << 12) | (u32::from(rd) << 7) | 0b0110111
+            }
+            Instr::Auipc { rd, imm20 } => {
+                (((imm20 as u32) & 0xFFFFF) << 12) | (u32::from(rd) << 7) | 0b0010111
+            }
+            Instr::Jal { rd, offset } => {
+                if offset % 2 != 0 || !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                    return Err(EncodeError::ImmediateOutOfRange {
+                        what: "jal",
+                        value: offset.into(),
+                    });
+                }
+                let imm = offset as u32;
+                let bit20 = (imm >> 20) & 1;
+                let bits10_1 = (imm >> 1) & 0x3FF;
+                let bit11 = (imm >> 11) & 1;
+                let bits19_12 = (imm >> 12) & 0xFF;
+                (bit20 << 31)
+                    | (bits10_1 << 21)
+                    | (bit11 << 20)
+                    | (bits19_12 << 12)
+                    | (u32::from(rd) << 7)
+                    | 0b1101111
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                i_type(check_i12("jalr", offset)?, rs1, 0b000, rd, 0b1100111)
+            }
+            Instr::Branch { op, rs1, rs2, offset } => {
+                if offset % 2 != 0 || !(-(1 << 12)..(1 << 12)).contains(&offset) {
+                    return Err(EncodeError::ImmediateOutOfRange {
+                        what: "branch",
+                        value: offset.into(),
+                    });
+                }
+                let imm = offset as u32;
+                let bit12 = (imm >> 12) & 1;
+                let bits10_5 = (imm >> 5) & 0x3F;
+                let bits4_1 = (imm >> 1) & 0xF;
+                let bit11 = (imm >> 11) & 1;
+                (bit12 << 31)
+                    | (bits10_5 << 25)
+                    | (u32::from(rs2) << 20)
+                    | (u32::from(rs1) << 15)
+                    | (op.funct3() << 12)
+                    | (bits4_1 << 8)
+                    | (bit11 << 7)
+                    | 0b1100011
+            }
+            Instr::Load { op, rd, rs1, offset } => {
+                i_type(check_i12("load", offset)?, rs1, op.funct3(), rd, 0b0000011)
+            }
+            Instr::Store { op, rs2, rs1, offset } => {
+                let imm = check_i12("store", offset)?;
+                ((imm >> 5) << 25)
+                    | (u32::from(rs2) << 20)
+                    | (u32::from(rs1) << 15)
+                    | (op.funct3() << 12)
+                    | ((imm & 0x1F) << 7)
+                    | 0b0100011
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let (funct3, imm12) = match op {
+                    OpImmOp::Addi => (0b000, check_i12("addi", imm)?),
+                    OpImmOp::Slti => (0b010, check_i12("slti", imm)?),
+                    OpImmOp::Sltiu => (0b011, check_i12("sltiu", imm)?),
+                    OpImmOp::Xori => (0b100, check_i12("xori", imm)?),
+                    OpImmOp::Ori => (0b110, check_i12("ori", imm)?),
+                    OpImmOp::Andi => (0b111, check_i12("andi", imm)?),
+                    OpImmOp::Slli | OpImmOp::Srli | OpImmOp::Srai => {
+                        if !(0..64).contains(&imm) {
+                            return Err(EncodeError::ImmediateOutOfRange {
+                                what: "shift amount",
+                                value: imm.into(),
+                            });
+                        }
+                        let high = if op == OpImmOp::Srai { 0x400 } else { 0 };
+                        let funct3 = if op == OpImmOp::Slli { 0b001 } else { 0b101 };
+                        (funct3, high | imm as u32)
+                    }
+                };
+                i_type(imm12, rs1, funct3, rd, 0b0010011)
+            }
+            Instr::OpImm32 { op, rd, rs1, imm } => {
+                let (funct3, imm12) = match op {
+                    OpImm32Op::Addiw => (0b000, check_i12("addiw", imm)?),
+                    OpImm32Op::Slliw | OpImm32Op::Srliw | OpImm32Op::Sraiw => {
+                        if !(0..32).contains(&imm) {
+                            return Err(EncodeError::ImmediateOutOfRange {
+                                what: "shift amount",
+                                value: imm.into(),
+                            });
+                        }
+                        let high = if op == OpImm32Op::Sraiw { 0x400 } else { 0 };
+                        let funct3 = if op == OpImm32Op::Slliw { 0b001 } else { 0b101 };
+                        (funct3, high | imm as u32)
+                    }
+                };
+                i_type(imm12, rs1, funct3, rd, 0b0011011)
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let (funct7, funct3) = match op {
+                    OpOp::Add => (0b0000000, 0b000),
+                    OpOp::Sub => (0b0100000, 0b000),
+                    OpOp::Sll => (0b0000000, 0b001),
+                    OpOp::Slt => (0b0000000, 0b010),
+                    OpOp::Sltu => (0b0000000, 0b011),
+                    OpOp::Xor => (0b0000000, 0b100),
+                    OpOp::Srl => (0b0000000, 0b101),
+                    OpOp::Sra => (0b0100000, 0b101),
+                    OpOp::Or => (0b0000000, 0b110),
+                    OpOp::And => (0b0000000, 0b111),
+                    OpOp::Mul => (0b0000001, 0b000),
+                    OpOp::Mulh => (0b0000001, 0b001),
+                    OpOp::Mulhsu => (0b0000001, 0b010),
+                    OpOp::Mulhu => (0b0000001, 0b011),
+                    OpOp::Div => (0b0000001, 0b100),
+                    OpOp::Divu => (0b0000001, 0b101),
+                    OpOp::Rem => (0b0000001, 0b110),
+                    OpOp::Remu => (0b0000001, 0b111),
+                };
+                r_type(funct7, rs2, rs1, funct3, rd, 0b0110011)
+            }
+            Instr::Op32 { op, rd, rs1, rs2 } => {
+                let (funct7, funct3) = match op {
+                    Op32Op::Addw => (0b0000000, 0b000),
+                    Op32Op::Subw => (0b0100000, 0b000),
+                    Op32Op::Sllw => (0b0000000, 0b001),
+                    Op32Op::Srlw => (0b0000000, 0b101),
+                    Op32Op::Sraw => (0b0100000, 0b101),
+                    Op32Op::Mulw => (0b0000001, 0b000),
+                    Op32Op::Divw => (0b0000001, 0b100),
+                    Op32Op::Divuw => (0b0000001, 0b101),
+                    Op32Op::Remw => (0b0000001, 0b110),
+                    Op32Op::Remuw => (0b0000001, 0b111),
+                };
+                r_type(funct7, rs2, rs1, funct3, rd, 0b0111011)
+            }
+            Instr::Fence => 0x0FF0_000F,
+            Instr::Ecall => 0x0000_0073,
+            Instr::Ebreak => 0x0010_0073,
+            Instr::Csr { op, rd, csr, rs1 } => {
+                i_type(u32::from(csr), rs1, op.funct3(false), rd, 0b1110011)
+            }
+            Instr::CsrImm { op, rd, csr, imm } => {
+                if imm >= 32 {
+                    return Err(EncodeError::ImmediateOutOfRange {
+                        what: "csr immediate",
+                        value: imm.into(),
+                    });
+                }
+                (u32::from(csr) << 20)
+                    | (u32::from(imm) << 15)
+                    | (op.funct3(true) << 12)
+                    | (u32::from(rd) << 7)
+                    | 0b1110011
+            }
+            Instr::Custom(rocc) => rocc.encode(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BranchOp, CsrOp, LoadOp, StoreOp};
+
+    #[test]
+    fn golden_encodings() {
+        // Cross-checked against the RISC-V spec / binutils output.
+        let cases: Vec<(Instr, u32)> = vec![
+            (Instr::NOP, 0x0000_0013),
+            (
+                Instr::OpImm {
+                    op: OpImmOp::Addi,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    imm: 1,
+                },
+                0x0015_0513,
+            ),
+            (
+                Instr::Op {
+                    op: OpOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::A2,
+                },
+                0x00C5_8533,
+            ),
+            (
+                Instr::Lui {
+                    rd: Reg::T0,
+                    imm20: 0x12345,
+                },
+                0x1234_52B7,
+            ),
+            (
+                Instr::Jal {
+                    rd: Reg::RA,
+                    offset: 8,
+                },
+                0x0080_00EF,
+            ),
+            (
+                Instr::Load {
+                    op: LoadOp::Ld,
+                    rd: Reg::A0,
+                    rs1: Reg::SP,
+                    offset: 16,
+                },
+                0x0101_3503,
+            ),
+            (
+                Instr::Store {
+                    op: StoreOp::Sd,
+                    rs2: Reg::A0,
+                    rs1: Reg::SP,
+                    offset: 16,
+                },
+                0x00A1_3823,
+            ),
+            (
+                Instr::Branch {
+                    op: BranchOp::Bne,
+                    rs1: Reg::A0,
+                    rs2: Reg::ZERO,
+                    offset: -4,
+                },
+                0xFE05_1EE3,
+            ),
+            (Instr::Ecall, 0x0000_0073),
+            (Instr::Ebreak, 0x0010_0073),
+            (
+                // rdcycle a0 == csrrs a0, cycle, x0
+                Instr::Csr {
+                    op: CsrOp::Csrrs,
+                    rd: Reg::A0,
+                    csr: 0xC00,
+                    rs1: Reg::ZERO,
+                },
+                0xC000_2573,
+            ),
+            (
+                Instr::Op {
+                    op: OpOp::Mul,
+                    rd: Reg::A3,
+                    rs1: Reg::A4,
+                    rs2: Reg::A5,
+                },
+                0x02F7_06B3,
+            ),
+        ];
+        for (instr, expected) in cases {
+            assert_eq!(instr.encode().unwrap(), expected, "{instr}");
+        }
+    }
+
+    #[test]
+    fn branch_range_checked() {
+        let b = Instr::Branch {
+            op: BranchOp::Beq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 5000,
+        };
+        assert!(b.encode().is_err());
+        let odd = Instr::Branch {
+            op: BranchOp::Beq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 3,
+        };
+        assert!(odd.encode().is_err());
+    }
+
+    #[test]
+    fn addi_range_checked() {
+        let i = Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 2048,
+        };
+        assert!(i.encode().is_err());
+        let j = Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: -2048,
+        };
+        assert!(j.encode().is_ok());
+    }
+
+    #[test]
+    fn shift_amount_checked() {
+        let i = Instr::OpImm {
+            op: OpImmOp::Slli,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 64,
+        };
+        assert!(i.encode().is_err());
+        let w = Instr::OpImm32 {
+            op: OpImm32Op::Slliw,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 32,
+        };
+        assert!(w.encode().is_err());
+    }
+}

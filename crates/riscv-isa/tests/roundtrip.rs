@@ -1,0 +1,148 @@
+//! Encode/decode roundtrip property tests.
+
+use proptest::prelude::*;
+use riscv_isa::instr::{BranchOp, CsrOp, LoadOp, Op32Op, OpImm32Op, OpImmOp, OpOp, StoreOp};
+use riscv_isa::rocc::{CustomOpcode, RoccInstruction};
+use riscv_isa::{Instr, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Beq),
+        Just(BranchOp::Bne),
+        Just(BranchOp::Blt),
+        Just(BranchOp::Bge),
+        Just(BranchOp::Bltu),
+        Just(BranchOp::Bgeu),
+    ]
+}
+
+fn op_op() -> impl Strategy<Value = OpOp> {
+    prop_oneof![
+        Just(OpOp::Add), Just(OpOp::Sub), Just(OpOp::Sll), Just(OpOp::Slt),
+        Just(OpOp::Sltu), Just(OpOp::Xor), Just(OpOp::Srl), Just(OpOp::Sra),
+        Just(OpOp::Or), Just(OpOp::And), Just(OpOp::Mul), Just(OpOp::Mulh),
+        Just(OpOp::Mulhsu), Just(OpOp::Mulhu), Just(OpOp::Div), Just(OpOp::Divu),
+        Just(OpOp::Rem), Just(OpOp::Remu),
+    ]
+}
+
+fn op32_op() -> impl Strategy<Value = Op32Op> {
+    prop_oneof![
+        Just(Op32Op::Addw), Just(Op32Op::Subw), Just(Op32Op::Sllw),
+        Just(Op32Op::Srlw), Just(Op32Op::Sraw), Just(Op32Op::Mulw),
+        Just(Op32Op::Divw), Just(Op32Op::Divuw), Just(Op32Op::Remw),
+        Just(Op32Op::Remuw),
+    ]
+}
+
+fn load_op() -> impl Strategy<Value = LoadOp> {
+    prop_oneof![
+        Just(LoadOp::Lb), Just(LoadOp::Lh), Just(LoadOp::Lw), Just(LoadOp::Ld),
+        Just(LoadOp::Lbu), Just(LoadOp::Lhu), Just(LoadOp::Lwu),
+    ]
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw), Just(StoreOp::Sd),
+    ]
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm20)| Instr::Lui { rd, imm20 }),
+        (reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm20)| Instr::Auipc { rd, imm20 }),
+        (reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|o| o * 2))
+            .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (reg(), reg(), -2048i32..=2047)
+            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (branch_op(), reg(), reg(), (-2048i32..2048).prop_map(|o| o * 2))
+            .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
+        (load_op(), reg(), reg(), -2048i32..=2047)
+            .prop_map(|(op, rd, rs1, offset)| Instr::Load { op, rd, rs1, offset }),
+        (store_op(), reg(), reg(), -2048i32..=2047)
+            .prop_map(|(op, rs2, rs1, offset)| Instr::Store { op, rs2, rs1, offset }),
+        (reg(), reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd,
+            rs1,
+            imm
+        }),
+        (reg(), reg(), 0i32..64).prop_map(|(rd, rs1, imm)| Instr::OpImm {
+            op: OpImmOp::Srai,
+            rd,
+            rs1,
+            imm
+        }),
+        (reg(), reg(), 0i32..32).prop_map(|(rd, rs1, imm)| Instr::OpImm32 {
+            op: OpImm32Op::Sraiw,
+            rd,
+            rs1,
+            imm
+        }),
+        (op_op(), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+        (op32_op(), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Op32 { op, rd, rs1, rs2 }),
+        Just(Instr::Ecall),
+        Just(Instr::Ebreak),
+        (reg(), reg(), 0u16..4096).prop_map(|(rd, rs1, csr)| Instr::Csr {
+            op: CsrOp::Csrrs,
+            rd,
+            csr,
+            rs1
+        }),
+        (reg(), 0u16..4096, 0u8..32).prop_map(|(rd, csr, imm)| Instr::CsrImm {
+            op: CsrOp::Csrrw,
+            rd,
+            csr,
+            imm
+        }),
+        (reg(), reg(), reg(), 0u8..128, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+            |(rd, rs1, rs2, funct7, xd, xs1, xs2)| Instr::Custom(RoccInstruction {
+                opcode: CustomOpcode::Custom0,
+                funct7,
+                rd,
+                rs1,
+                rs2,
+                xd,
+                xs1,
+                xs2,
+            })
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in instr()) {
+        let word = i.encode().unwrap();
+        let back = Instr::decode(word).unwrap();
+        prop_assert_eq!(back, i, "word {:#010x}", word);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = Instr::decode(word);
+    }
+
+    #[test]
+    fn decoded_reencodes_identically(word in any::<u32>()) {
+        if let Ok(i) = Instr::decode(word) {
+            // Decoding is not necessarily injective (e.g. fence variants all
+            // decode to Fence), but re-encoding must re-decode to the same
+            // instruction.
+            let word2 = i.encode().unwrap();
+            prop_assert_eq!(Instr::decode(word2).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn display_never_panics(i in instr()) {
+        let _ = i.to_string();
+    }
+}

@@ -1,0 +1,91 @@
+//! The RoCC coprocessor hook.
+//!
+//! The simulators treat an attached accelerator as a black box that consumes
+//! commands and produces responses, mirroring the real RoCC `cmd`/`resp`
+//! decoupled interfaces. Timing information (busy cycles, memory-port
+//! traffic) rides along in the response so the cycle-accurate model can
+//! charge it to the hardware bucket of Table IV; the functional simulator
+//! simply ignores it.
+
+use riscv_isa::rocc::RoccInstruction;
+
+use crate::{CpuError, Memory};
+
+/// A command sent to an accelerator over the RoCC `cmd` interface: the
+/// decoded custom instruction plus the core-register values travelling with
+/// it (valid only when the corresponding `xs` flag is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoccCommand {
+    /// The custom instruction.
+    pub instruction: RoccInstruction,
+    /// Value of `rs1` in the core register file (meaningful if `xs1`).
+    pub rs1_value: u64,
+    /// Value of `rs2` in the core register file (meaningful if `xs2`).
+    pub rs2_value: u64,
+}
+
+/// An accelerator's response to one command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoccResponse {
+    /// Value to write to the core `rd` (required when the command had `xd`).
+    pub rd_value: Option<u64>,
+    /// Cycles the accelerator's execution FSM was busy serving this command,
+    /// excluding the interface handshake (which the core model charges
+    /// separately).
+    pub busy_cycles: u32,
+    /// Number of L1-D-side memory accesses performed via the RoCC `mem`
+    /// interface.
+    pub mem_accesses: u32,
+}
+
+/// An accelerator attachable to a simulated core's RoCC port.
+pub trait Coprocessor {
+    /// Executes one command. `mem` is the core's memory as seen through the
+    /// RoCC memory interface (the accelerator shares the L1-D cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] for unimplemented functions or faulting memory
+    /// accesses, which the core reports as an illegal-instruction-style
+    /// failure at the call site.
+    fn execute(&mut self, cmd: &RoccCommand, mem: &mut Memory) -> Result<RoccResponse, CpuError>;
+
+    /// Resets all architectural accelerator state.
+    fn reset(&mut self);
+}
+
+/// A coprocessor port with nothing attached: any custom instruction faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCoprocessor;
+
+impl Coprocessor for NoCoprocessor {
+    fn execute(&mut self, cmd: &RoccCommand, _mem: &mut Memory) -> Result<RoccResponse, CpuError> {
+        Err(CpuError::NoCoprocessor {
+            funct7: cmd.instruction.funct7,
+        })
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::rocc::CustomOpcode;
+    use riscv_isa::Reg;
+
+    #[test]
+    fn no_coprocessor_faults() {
+        let mut none = NoCoprocessor;
+        let cmd = RoccCommand {
+            instruction: RoccInstruction::reg_reg(CustomOpcode::Custom0, 4, Reg::A2, Reg::A1, Reg::A0),
+            rs1_value: 1,
+            rs2_value: 2,
+        };
+        let mut mem = Memory::new();
+        assert!(matches!(
+            none.execute(&cmd, &mut mem),
+            Err(CpuError::NoCoprocessor { funct7: 4 })
+        ));
+    }
+}

@@ -1,0 +1,755 @@
+//! The functional RV64IM core.
+
+use riscv_isa::instr::{BranchOp, CsrOp, Instr, LoadOp, Op32Op, OpImm32Op, OpImmOp, OpOp, StoreOp};
+use riscv_isa::{csr, Reg};
+
+use crate::coproc::{Coprocessor, NoCoprocessor, RoccCommand, RoccResponse};
+use crate::{CpuError, Memory};
+
+/// Syscall numbers understood by the host interface (`a7` at `ecall`).
+pub mod syscall {
+    /// `exit(code)` — end the program.
+    pub const EXIT: u64 = 93;
+    /// `write(fd, buf, len)` — bytes are captured into the console buffer.
+    pub const WRITE: u64 = 64;
+    /// `mark(id)` — framework extension: records `(id, cycle, instret)` so
+    /// harnesses can delimit measurement regions.
+    pub const MARK: u64 = 0x700;
+}
+
+/// A memory access performed by a retired instruction, for the cache models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// True for stores.
+    pub store: bool,
+}
+
+/// Everything a timing model needs to know about one retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// The instruction's own address.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Address of the next instruction to execute.
+    pub next_pc: u64,
+    /// Data-memory access, if any.
+    pub mem_access: Option<MemAccess>,
+    /// Accelerator response, if the instruction was a RoCC command.
+    pub rocc: Option<RoccResponse>,
+}
+
+impl Retired {
+    /// True if control transferred away from the fall-through path.
+    #[must_use]
+    pub fn redirected(&self) -> bool {
+        self.next_pc != self.pc.wrapping_add(4)
+    }
+}
+
+/// One step's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An instruction retired.
+    Retired(Retired),
+    /// The program called `exit`.
+    Exited {
+        /// The exit code passed in `a0`.
+        code: i64,
+    },
+}
+
+/// A `(marker id, cycle, instret)` triple recorded by the `mark` syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Marker {
+    /// The marker id from `a0`.
+    pub id: u64,
+    /// The core cycle counter at the marker.
+    pub cycle: u64,
+    /// Instructions retired at the marker.
+    pub instret: u64,
+}
+
+/// The functional RV64IM core with host interface and RoCC port.
+///
+/// The functional core advances [`Cpu::cycle`] by one per instruction; a
+/// timing model (like `rocket-sim`) drives the field itself so guest
+/// `rdcycle` reads observe modelled time.
+///
+/// # Example
+///
+/// ```
+/// use riscv_sim::{Cpu, Memory};
+/// use riscv_isa::{Instr, Reg};
+/// use riscv_isa::instr::OpImmOp;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cpu = Cpu::new();
+/// // addi a0, zero, 42 ; addi a7, zero, 93 ; ecall
+/// let prog = [
+///     Instr::OpImm { op: OpImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 42 },
+///     Instr::OpImm { op: OpImmOp::Addi, rd: Reg::A7, rs1: Reg::ZERO, imm: 93 },
+///     Instr::Ecall,
+/// ];
+/// for (i, instr) in prog.iter().enumerate() {
+///     cpu.memory.write_u32(0x1000 + 4 * i as u64, instr.encode()?)?;
+/// }
+/// cpu.set_pc(0x1000);
+/// let exit = cpu.run(1_000)?;
+/// assert_eq!(exit, 42);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Cpu {
+    regs: [u64; 32],
+    pc: u64,
+    /// The cycle counter backing `rdcycle`. The functional core increments
+    /// it once per instruction; timing models overwrite it.
+    pub cycle: u64,
+    /// Instructions retired (backs `rdinstret`).
+    pub instret: u64,
+    /// Guest-visible memory.
+    pub memory: Memory,
+    /// Captured `write` syscall output.
+    pub console: Vec<u8>,
+    /// Markers recorded by the `mark` syscall.
+    pub markers: Vec<Marker>,
+    coprocessor: Box<dyn Coprocessor>,
+    scratch_csrs: std::collections::BTreeMap<u16, u64>,
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("pc", &format_args!("{:#x}", self.pc))
+            .field("cycle", &self.cycle)
+            .field("instret", &self.instret)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// A core with empty memory and no coprocessor attached.
+    #[must_use]
+    pub fn new() -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: 0,
+            cycle: 0,
+            instret: 0,
+            memory: Memory::new(),
+            console: Vec::new(),
+            markers: Vec::new(),
+            coprocessor: Box::new(NoCoprocessor),
+            scratch_csrs: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Attaches an accelerator to the RoCC port.
+    pub fn attach_coprocessor(&mut self, coprocessor: Box<dyn Coprocessor>) {
+        self.coprocessor = coprocessor;
+    }
+
+    /// Reads a register (x0 reads as zero).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.number() as usize]
+    }
+
+    /// Writes a register (writes to x0 are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if r != Reg::ZERO {
+            self.regs[r.number() as usize] = value;
+        }
+    }
+
+    /// The program counter.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Sets the program counter (e.g. to a program's entry point).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] on fetch/load/store faults, undecodable
+    /// instructions, unknown syscalls, `ebreak`, or coprocessor faults.
+    pub fn step(&mut self) -> Result<Event, CpuError> {
+        let pc = self.pc;
+        if pc % 4 != 0 {
+            return Err(CpuError::MisalignedPc(pc));
+        }
+        let word = self
+            .memory
+            .read_u32(pc)
+            .map_err(|_| CpuError::FetchFault(pc))?;
+        let instr = Instr::decode(word).map_err(CpuError::Decode)?;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut mem_access = None;
+        let mut rocc = None;
+
+        match instr {
+            Instr::Lui { rd, imm20 } => {
+                self.set_reg(rd, ((imm20 as i64) << 12) as u64);
+            }
+            Instr::Auipc { rd, imm20 } => {
+                self.set_reg(rd, pc.wrapping_add(((imm20 as i64) << 12) as u64));
+            }
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(offset as i64 as u64);
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as i64 as u64) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+            }
+            Instr::Branch { op, rs1, rs2, offset } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let taken = match op {
+                    BranchOp::Beq => a == b,
+                    BranchOp::Bne => a != b,
+                    BranchOp::Blt => (a as i64) < (b as i64),
+                    BranchOp::Bge => (a as i64) >= (b as i64),
+                    BranchOp::Bltu => a < b,
+                    BranchOp::Bgeu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as i64 as u64);
+                }
+            }
+            Instr::Load { op, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as i64 as u64);
+                let value = match op {
+                    LoadOp::Lb => self.memory.read_u8(addr)? as i8 as i64 as u64,
+                    LoadOp::Lbu => self.memory.read_u8(addr)?.into(),
+                    LoadOp::Lh => self.memory.read_u16(addr)? as i16 as i64 as u64,
+                    LoadOp::Lhu => self.memory.read_u16(addr)?.into(),
+                    LoadOp::Lw => self.memory.read_u32(addr)? as i32 as i64 as u64,
+                    LoadOp::Lwu => self.memory.read_u32(addr)?.into(),
+                    LoadOp::Ld => self.memory.read_u64(addr)?,
+                };
+                self.set_reg(rd, value);
+                mem_access = Some(MemAccess {
+                    addr,
+                    size: op.size(),
+                    store: false,
+                });
+            }
+            Instr::Store { op, rs2, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as i64 as u64);
+                let value = self.reg(rs2);
+                match op {
+                    StoreOp::Sb => self.memory.write_u8(addr, value as u8)?,
+                    StoreOp::Sh => self.memory.write_u16(addr, value as u16)?,
+                    StoreOp::Sw => self.memory.write_u32(addr, value as u32)?,
+                    StoreOp::Sd => self.memory.write_u64(addr, value)?,
+                }
+                mem_access = Some(MemAccess {
+                    addr,
+                    size: op.size(),
+                    store: true,
+                });
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let a = self.reg(rs1);
+                let imm_u = imm as i64 as u64;
+                let value = match op {
+                    OpImmOp::Addi => a.wrapping_add(imm_u),
+                    OpImmOp::Slti => u64::from((a as i64) < imm as i64),
+                    OpImmOp::Sltiu => u64::from(a < imm_u),
+                    OpImmOp::Xori => a ^ imm_u,
+                    OpImmOp::Ori => a | imm_u,
+                    OpImmOp::Andi => a & imm_u,
+                    OpImmOp::Slli => a << (imm & 0x3F),
+                    OpImmOp::Srli => a >> (imm & 0x3F),
+                    OpImmOp::Srai => ((a as i64) >> (imm & 0x3F)) as u64,
+                };
+                self.set_reg(rd, value);
+            }
+            Instr::OpImm32 { op, rd, rs1, imm } => {
+                let a = self.reg(rs1) as u32;
+                let value = match op {
+                    OpImm32Op::Addiw => a.wrapping_add(imm as u32) as i32,
+                    OpImm32Op::Slliw => (a << (imm & 0x1F)) as i32,
+                    OpImm32Op::Srliw => (a >> (imm & 0x1F)) as i32,
+                    OpImm32Op::Sraiw => (a as i32) >> (imm & 0x1F),
+                };
+                self.set_reg(rd, value as i64 as u64);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let value = match op {
+                    OpOp::Add => a.wrapping_add(b),
+                    OpOp::Sub => a.wrapping_sub(b),
+                    OpOp::Sll => a << (b & 0x3F),
+                    OpOp::Slt => u64::from((a as i64) < (b as i64)),
+                    OpOp::Sltu => u64::from(a < b),
+                    OpOp::Xor => a ^ b,
+                    OpOp::Srl => a >> (b & 0x3F),
+                    OpOp::Sra => ((a as i64) >> (b & 0x3F)) as u64,
+                    OpOp::Or => a | b,
+                    OpOp::And => a & b,
+                    OpOp::Mul => a.wrapping_mul(b),
+                    OpOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+                    OpOp::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+                    OpOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+                    OpOp::Div => {
+                        if b == 0 {
+                            u64::MAX
+                        } else {
+                            (a as i64).wrapping_div(b as i64) as u64
+                        }
+                    }
+                    OpOp::Divu => {
+                        if b == 0 {
+                            u64::MAX
+                        } else {
+                            a / b
+                        }
+                    }
+                    OpOp::Rem => {
+                        if b == 0 {
+                            a
+                        } else {
+                            (a as i64).wrapping_rem(b as i64) as u64
+                        }
+                    }
+                    OpOp::Remu => {
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
+                };
+                self.set_reg(rd, value);
+            }
+            Instr::Op32 { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.reg(rs1) as u32, self.reg(rs2) as u32);
+                let value: i32 = match op {
+                    Op32Op::Addw => a.wrapping_add(b) as i32,
+                    Op32Op::Subw => a.wrapping_sub(b) as i32,
+                    Op32Op::Sllw => (a << (b & 0x1F)) as i32,
+                    Op32Op::Srlw => (a >> (b & 0x1F)) as i32,
+                    Op32Op::Sraw => (a as i32) >> (b & 0x1F),
+                    Op32Op::Mulw => a.wrapping_mul(b) as i32,
+                    Op32Op::Divw => {
+                        if b == 0 {
+                            -1
+                        } else {
+                            (a as i32).wrapping_div(b as i32)
+                        }
+                    }
+                    Op32Op::Divuw => {
+                        if b == 0 {
+                            -1
+                        } else {
+                            (a / b) as i32
+                        }
+                    }
+                    Op32Op::Remw => {
+                        if b == 0 {
+                            a as i32
+                        } else {
+                            (a as i32).wrapping_rem(b as i32)
+                        }
+                    }
+                    Op32Op::Remuw => {
+                        if b == 0 {
+                            a as i32
+                        } else {
+                            (a % b) as i32
+                        }
+                    }
+                };
+                self.set_reg(rd, value as i64 as u64);
+            }
+            Instr::Fence => {}
+            Instr::Ebreak => return Err(CpuError::Breakpoint(pc)),
+            Instr::Ecall => {
+                let nr = self.reg(Reg::A7);
+                match nr {
+                    syscall::EXIT => {
+                        self.instret += 1;
+                        self.cycle += 1;
+                        return Ok(Event::Exited {
+                            code: self.reg(Reg::A0) as i64,
+                        });
+                    }
+                    syscall::WRITE => {
+                        let buf = self.reg(Reg::A1);
+                        let len = self.reg(Reg::A2);
+                        let bytes = self.memory.read_bytes(buf, len as usize)?;
+                        self.console.extend_from_slice(&bytes);
+                        self.set_reg(Reg::A0, len);
+                    }
+                    syscall::MARK => {
+                        self.markers.push(Marker {
+                            id: self.reg(Reg::A0),
+                            cycle: self.cycle,
+                            instret: self.instret,
+                        });
+                    }
+                    _ => return Err(CpuError::UnknownSyscall(nr)),
+                }
+            }
+            Instr::Csr { op, rd, csr, rs1 } => {
+                let old = self.read_csr(csr)?;
+                let src = self.reg(rs1);
+                self.write_csr_op(op, csr, old, src, rs1 != Reg::ZERO)?;
+                self.set_reg(rd, old);
+            }
+            Instr::CsrImm { op, rd, csr, imm } => {
+                let old = self.read_csr(csr)?;
+                self.write_csr_op(op, csr, old, u64::from(imm), imm != 0)?;
+                self.set_reg(rd, old);
+            }
+            Instr::Custom(rocc_instr) => {
+                let cmd = RoccCommand {
+                    instruction: rocc_instr,
+                    rs1_value: if rocc_instr.xs1 {
+                        self.reg(rocc_instr.rs1)
+                    } else {
+                        0
+                    },
+                    rs2_value: if rocc_instr.xs2 {
+                        self.reg(rocc_instr.rs2)
+                    } else {
+                        0
+                    },
+                };
+                let resp = self.coprocessor.execute(&cmd, &mut self.memory)?;
+                if rocc_instr.xd {
+                    let value = resp.rd_value.ok_or(CpuError::MissingRoccResponse {
+                        funct7: rocc_instr.funct7,
+                    })?;
+                    self.set_reg(rocc_instr.rd, value);
+                }
+                rocc = Some(resp);
+            }
+        }
+
+        self.pc = next_pc;
+        self.instret += 1;
+        self.cycle += 1;
+        Ok(Event::Retired(Retired {
+            pc,
+            instr,
+            next_pc,
+            mem_access,
+            rocc,
+        }))
+    }
+
+    fn read_csr(&self, number: u16) -> Result<u64, CpuError> {
+        Ok(match number {
+            csr::CYCLE | csr::TIME => self.cycle,
+            csr::INSTRET => self.instret,
+            csr::MHARTID => 0,
+            _ => self.scratch_csrs.get(&number).copied().unwrap_or(0),
+        })
+    }
+
+    fn write_csr_op(
+        &mut self,
+        op: CsrOp,
+        number: u16,
+        old: u64,
+        src: u64,
+        writes: bool,
+    ) -> Result<(), CpuError> {
+        // csrrs/csrrc with a zero source are pure reads and never trap.
+        if !writes && matches!(op, CsrOp::Csrrs | CsrOp::Csrrc) {
+            return Ok(());
+        }
+        match number {
+            csr::CYCLE | csr::TIME | csr::INSTRET | csr::MHARTID => {
+                Err(CpuError::ReadOnlyCsr(number))
+            }
+            _ => {
+                let new = match op {
+                    CsrOp::Csrrw => src,
+                    CsrOp::Csrrs => old | src,
+                    CsrOp::Csrrc => old & !src,
+                };
+                self.scratch_csrs.insert(number, new);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs until exit or `max_instructions` retirements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CpuError`] from [`Cpu::step`], or
+    /// [`CpuError::InstructionLimit`] if the program did not exit in time.
+    pub fn run(&mut self, max_instructions: u64) -> Result<i64, CpuError> {
+        for _ in 0..max_instructions {
+            if let Event::Exited { code } = self.step()? {
+                return Ok(code);
+            }
+        }
+        Err(CpuError::InstructionLimit(max_instructions))
+    }
+
+    /// Resets architectural state (registers, pc, counters, coprocessor)
+    /// while keeping memory contents.
+    pub fn reset(&mut self) {
+        self.regs = [0; 32];
+        self.pc = 0;
+        self.cycle = 0;
+        self.instret = 0;
+        self.console.clear();
+        self.markers.clear();
+        self.scratch_csrs.clear();
+        self.coprocessor.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(cpu: &mut Cpu, base: u64, prog: &[Instr]) {
+        for (i, instr) in prog.iter().enumerate() {
+            cpu.memory
+                .write_u32(base + 4 * i as u64, instr.encode().unwrap())
+                .unwrap();
+        }
+        cpu.set_pc(base);
+    }
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    fn exit_seq() -> [Instr; 2] {
+        [addi(Reg::A7, Reg::ZERO, 93), Instr::Ecall]
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        // Sum 1..=10 with a branch loop.
+        let mut cpu = Cpu::new();
+        let prog = vec![
+            addi(Reg::T0, Reg::ZERO, 0),  // sum
+            addi(Reg::T1, Reg::ZERO, 1),  // i
+            addi(Reg::T2, Reg::ZERO, 10), // limit
+            // loop:
+            Instr::Op { op: OpOp::Add, rd: Reg::T0, rs1: Reg::T0, rs2: Reg::T1 },
+            addi(Reg::T1, Reg::T1, 1),
+            Instr::Branch { op: BranchOp::Bge, rs1: Reg::T2, rs2: Reg::T1, offset: -8 },
+            addi(Reg::A0, Reg::T0, 0),
+            addi(Reg::A7, Reg::ZERO, 93),
+            Instr::Ecall,
+        ];
+        load(&mut cpu, 0x1000, &prog);
+        assert_eq!(cpu.run(1000).unwrap(), 55);
+    }
+
+    #[test]
+    fn memory_and_jal() {
+        let mut cpu = Cpu::new();
+        let mut prog = vec![
+            Instr::Lui { rd: Reg::T0, imm20: 0x2 }, // t0 = 0x2000
+            addi(Reg::T1, Reg::ZERO, 0x7F),
+            Instr::Store { op: StoreOp::Sd, rs2: Reg::T1, rs1: Reg::T0, offset: 8 },
+            Instr::Load { op: LoadOp::Ld, rd: Reg::A0, rs1: Reg::T0, offset: 8 },
+        ];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        assert_eq!(cpu.run(100).unwrap(), 0x7F);
+    }
+
+    #[test]
+    fn signed_div_edge_cases() {
+        let mut cpu = Cpu::new();
+        // i64::MIN / -1 must wrap, not fault.
+        cpu.set_reg(Reg::A1, i64::MIN as u64);
+        cpu.set_reg(Reg::A2, -1i64 as u64);
+        let mut prog = vec![Instr::Op {
+            op: OpOp::Div,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        }];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        assert_eq!(cpu.run(100).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn div_by_zero_semantics() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::A1, 42);
+        let mut prog = vec![
+            Instr::Op { op: OpOp::Divu, rd: Reg::T0, rs1: Reg::A1, rs2: Reg::ZERO },
+            Instr::Op { op: OpOp::Remu, rd: Reg::T1, rs1: Reg::A1, rs2: Reg::ZERO },
+            // a0 = (t0 == all-ones && t1 == 42) ? 1 : 0, computed branchlessly:
+            addi(Reg::T2, Reg::ZERO, -1),
+            Instr::Op { op: OpOp::Xor, rd: Reg::T0, rs1: Reg::T0, rs2: Reg::T2 },
+            Instr::Op { op: OpOp::Sltu, rd: Reg::T0, rs1: Reg::ZERO, rs2: Reg::T0 },
+            addi(Reg::A0, Reg::T1, 0),
+        ];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        assert_eq!(cpu.run(100).unwrap(), 42);
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::A1, 0x7FFF_FFFF);
+        let mut prog = vec![Instr::OpImm32 {
+            op: OpImm32Op::Addiw,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 1,
+        }];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        // 0x7FFFFFFF + 1 wraps to i32::MIN and sign-extends.
+        assert_eq!(cpu.run(100).unwrap(), i32::MIN as i64);
+    }
+
+    #[test]
+    fn write_syscall_captures_console() {
+        let mut cpu = Cpu::new();
+        cpu.memory.load_bytes(0x3000, b"hi!").unwrap();
+        let mut prog = vec![
+            addi(Reg::A0, Reg::ZERO, 1),
+            Instr::Lui { rd: Reg::A1, imm20: 0x3 },
+            addi(Reg::A2, Reg::ZERO, 3),
+            addi(Reg::A7, Reg::ZERO, 64),
+            Instr::Ecall,
+        ];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.console, b"hi!");
+    }
+
+    #[test]
+    fn markers_record_counters() {
+        let mut cpu = Cpu::new();
+        let mut prog = vec![
+            addi(Reg::A0, Reg::ZERO, 7),
+            addi(Reg::A7, Reg::ZERO, 0x700),
+            Instr::Ecall,
+        ];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.markers.len(), 1);
+        assert_eq!(cpu.markers[0].id, 7);
+        assert_eq!(cpu.markers[0].instret, 2);
+    }
+
+    #[test]
+    fn rdcycle_reads_counter() {
+        let mut cpu = Cpu::new();
+        let mut prog = vec![
+            Instr::NOP,
+            Instr::NOP,
+            Instr::Csr {
+                op: CsrOp::Csrrs,
+                rd: Reg::A0,
+                csr: csr::CYCLE,
+                rs1: Reg::ZERO,
+            },
+        ];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        assert_eq!(cpu.run(100).unwrap(), 2);
+    }
+
+    #[test]
+    fn csr_write_to_cycle_traps() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::A1, 5);
+        let prog = vec![Instr::Csr {
+            op: CsrOp::Csrrw,
+            rd: Reg::A0,
+            csr: csr::CYCLE,
+            rs1: Reg::A1,
+        }];
+        load(&mut cpu, 0x1000, &prog);
+        assert!(matches!(cpu.step(), Err(CpuError::ReadOnlyCsr(0xC00))));
+    }
+
+    #[test]
+    fn scratch_csr_set_clear() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::A1, 0b1100);
+        cpu.set_reg(Reg::A2, 0b0100);
+        let mut prog = vec![
+            Instr::Csr { op: CsrOp::Csrrw, rd: Reg::ZERO, csr: 0x800, rs1: Reg::A1 },
+            Instr::Csr { op: CsrOp::Csrrc, rd: Reg::ZERO, csr: 0x800, rs1: Reg::A2 },
+            Instr::Csr { op: CsrOp::Csrrs, rd: Reg::A0, csr: 0x800, rs1: Reg::ZERO },
+        ];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        assert_eq!(cpu.run(100).unwrap(), 0b1000);
+    }
+
+    #[test]
+    fn ebreak_reports_breakpoint() {
+        let mut cpu = Cpu::new();
+        load(&mut cpu, 0x1000, &[Instr::Ebreak]);
+        assert!(matches!(cpu.step(), Err(CpuError::Breakpoint(0x1000))));
+    }
+
+    #[test]
+    fn unknown_syscall_faults() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::A7, 999);
+        load(&mut cpu, 0x1000, &[Instr::Ecall]);
+        assert!(matches!(cpu.step(), Err(CpuError::UnknownSyscall(999))));
+    }
+
+    #[test]
+    fn instruction_limit_enforced() {
+        let mut cpu = Cpu::new();
+        // Infinite loop: jal zero, 0.
+        load(&mut cpu, 0x1000, &[Instr::Jal { rd: Reg::ZERO, offset: 0 }]);
+        assert!(matches!(
+            cpu.run(10),
+            Err(CpuError::InstructionLimit(10))
+        ));
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut cpu = Cpu::new();
+        let mut prog = vec![
+            addi(Reg::ZERO, Reg::ZERO, 5),
+            addi(Reg::A0, Reg::ZERO, 0),
+        ];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        assert_eq!(cpu.run(100).unwrap(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Sparse, page-granular physical memory.
+
+use std::collections::BTreeMap;
+
+use crate::CpuError;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Byte-addressable sparse memory backed by 4 KiB pages.
+///
+/// Reads of unmapped pages are an error (the guest touched memory the
+/// program never initialized or reserved); writes allocate pages on demand.
+///
+/// # Example
+///
+/// ```
+/// use riscv_sim::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u64(0x8000_0000, 0xDEAD_BEEF_0BAD_F00D).unwrap();
+/// assert_eq!(mem.read_u64(0x8000_0000).unwrap(), 0xDEAD_BEEF_0BAD_F00D);
+/// assert_eq!(mem.read_u32(0x8000_0004).unwrap(), 0xDEAD_BEEF);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// An empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of mapped pages (for footprint diagnostics).
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::UnmappedAddress`] if the page was never written.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, CpuError> {
+        let page = self
+            .pages
+            .get(&(addr >> PAGE_SHIFT))
+            .ok_or(CpuError::UnmappedAddress(addr))?;
+        Ok(page[(addr & (PAGE_SIZE - 1)) as usize])
+    }
+
+    /// Writes one byte, mapping the page on demand.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; kept fallible for symmetry and future protection
+    /// bits.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), CpuError> {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        page[(addr & (PAGE_SIZE - 1)) as usize] = value;
+        Ok(())
+    }
+
+    /// Reads `N` little-endian bytes.
+    fn read_le<const N: usize>(&self, addr: u64) -> Result<[u8; N], CpuError> {
+        let mut out = [0u8; N];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64)?;
+        }
+        Ok(out)
+    }
+
+    fn write_le(&mut self, addr: u64, bytes: &[u8]) -> Result<(), CpuError> {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian u16.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::UnmappedAddress`] for unmapped locations.
+    pub fn read_u16(&self, addr: u64) -> Result<u16, CpuError> {
+        Ok(u16::from_le_bytes(self.read_le(addr)?))
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::UnmappedAddress`] for unmapped locations.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, CpuError> {
+        Ok(u32::from_le_bytes(self.read_le(addr)?))
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::UnmappedAddress`] for unmapped locations.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, CpuError> {
+        Ok(u64::from_le_bytes(self.read_le(addr)?))
+    }
+
+    /// Writes a little-endian u16.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write_u8`].
+    pub fn write_u16(&mut self, addr: u64, value: u16) -> Result<(), CpuError> {
+        self.write_le(addr, &value.to_le_bytes())
+    }
+
+    /// Writes a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write_u8`].
+    pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), CpuError> {
+        self.write_le(addr, &value.to_le_bytes())
+    }
+
+    /// Writes a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write_u8`].
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), CpuError> {
+        self.write_le(addr, &value.to_le_bytes())
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write_u8`].
+    pub fn load_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), CpuError> {
+        self.write_le(addr, bytes)
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::UnmappedAddress`] for unmapped locations.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, CpuError> {
+        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_all_widths() {
+        let mut m = Memory::new();
+        m.write_u8(0x1000, 0xAB).unwrap();
+        m.write_u16(0x1002, 0x1234).unwrap();
+        m.write_u32(0x1004, 0xDEAD_BEEF).unwrap();
+        m.write_u64(0x1008, u64::MAX).unwrap();
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0xAB);
+        assert_eq!(m.read_u16(0x1002).unwrap(), 0x1234);
+        assert_eq!(m.read_u32(0x1004).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(m.read_u64(0x1008).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn unmapped_read_fails() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0x42), Err(CpuError::UnmappedAddress(0x42)));
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = 0x1FFC; // straddles a 4 KiB boundary for u64
+        m.write_u64(addr, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(m.read_u64(addr).unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_load() {
+        let mut m = Memory::new();
+        m.load_bytes(0x2000, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_bytes(0x2000, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Spike-style execution tracing: an instruction-by-instruction commit log
+//! for debugging guest kernels.
+
+use riscv_isa::Reg;
+
+use crate::{Cpu, CpuError, Event};
+
+/// One committed instruction in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Address of the instruction.
+    pub pc: u64,
+    /// The raw disassembly.
+    pub disassembly: String,
+    /// Destination register write, if any: `(reg, new value)`.
+    pub write: Option<(Reg, u64)>,
+    /// Data-memory effective address touched, if any.
+    pub mem_addr: Option<u64>,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#010x}  {:<32}", self.pc, self.disassembly)?;
+        if let Some((reg, value)) = self.write {
+            write!(f, "  {reg} <- {value:#x}")?;
+        }
+        if let Some(addr) = self.mem_addr {
+            write!(f, "  [{addr:#x}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the CPU to exit while recording a commit log, keeping only the most
+/// recent `window` entries (a flight recorder — full traces of real kernels
+/// are millions of lines).
+///
+/// Returns the exit code and the retained trace tail. On a fault, returns
+/// the error alongside the tail so the crash context is inspectable.
+///
+/// # Errors
+///
+/// Propagates the underlying [`CpuError`], paired with the trace tail.
+pub fn run_traced(
+    cpu: &mut Cpu,
+    max_instructions: u64,
+    window: usize,
+) -> Result<(i64, Vec<TraceEntry>), (CpuError, Vec<TraceEntry>)> {
+    let mut tail: std::collections::VecDeque<TraceEntry> =
+        std::collections::VecDeque::with_capacity(window.max(1));
+    for _ in 0..max_instructions {
+        match cpu.step() {
+            Ok(Event::Exited { code }) => return Ok((code, tail.into_iter().collect())),
+            Ok(Event::Retired(retired)) => {
+                let write = retired
+                    .instr
+                    .dest()
+                    .map(|reg| (reg, cpu.reg(reg)));
+                if tail.len() == window {
+                    tail.pop_front();
+                }
+                tail.push_back(TraceEntry {
+                    pc: retired.pc,
+                    disassembly: retired.instr.to_string(),
+                    write,
+                    mem_addr: retired.mem_access.map(|a| a.addr),
+                });
+            }
+            Err(e) => return Err((e, tail.into_iter().collect())),
+        }
+    }
+    Err((
+        CpuError::InstructionLimit(max_instructions),
+        tail.into_iter().collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_isa::instr::OpImmOp;
+    use riscv_isa::Instr;
+
+    fn program(cpu: &mut Cpu, instrs: &[Instr]) {
+        for (i, instr) in instrs.iter().enumerate() {
+            cpu.memory
+                .write_u32(0x1000 + 4 * i as u64, instr.encode().unwrap())
+                .unwrap();
+        }
+        cpu.set_pc(0x1000);
+    }
+
+    #[test]
+    fn trace_records_writes_and_exit() {
+        let mut cpu = Cpu::new();
+        program(
+            &mut cpu,
+            &[
+                Instr::OpImm {
+                    op: OpImmOp::Addi,
+                    rd: Reg::A0,
+                    rs1: Reg::ZERO,
+                    imm: 7,
+                },
+                Instr::OpImm {
+                    op: OpImmOp::Addi,
+                    rd: Reg::A7,
+                    rs1: Reg::ZERO,
+                    imm: 93,
+                },
+                Instr::Ecall,
+            ],
+        );
+        let (code, trace) = run_traced(&mut cpu, 100, 16).unwrap();
+        assert_eq!(code, 7);
+        assert_eq!(trace.len(), 2, "the exiting ecall is not a retirement");
+        assert_eq!(trace[0].write, Some((Reg::A0, 7)));
+        assert!(trace[0].to_string().contains("addi a0, zero, 7"));
+    }
+
+    #[test]
+    fn window_keeps_only_the_tail() {
+        let mut cpu = Cpu::new();
+        let mut body = vec![
+            Instr::OpImm {
+                op: OpImmOp::Addi,
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                imm: 1,
+            };
+            20
+        ];
+        body.push(Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd: Reg::A7,
+            rs1: Reg::ZERO,
+            imm: 93,
+        });
+        body.push(Instr::Ecall);
+        program(&mut cpu, &body);
+        let (_, trace) = run_traced(&mut cpu, 1000, 5).unwrap();
+        assert_eq!(trace.len(), 5);
+        // The last retained entry is the a7 setup, preceded by increments.
+        assert!(trace[4].disassembly.contains("a7"));
+        assert_eq!(trace[3].write, Some((Reg::T0, 20)));
+    }
+
+    #[test]
+    fn fault_returns_context() {
+        let mut cpu = Cpu::new();
+        program(
+            &mut cpu,
+            &[
+                Instr::NOP,
+                Instr::Load {
+                    op: riscv_isa::instr::LoadOp::Ld,
+                    rd: Reg::T0,
+                    rs1: Reg::ZERO,
+                    offset: 0x70,
+                },
+            ],
+        );
+        let (err, trace) = run_traced(&mut cpu, 100, 8).unwrap_err();
+        assert!(matches!(err, CpuError::UnmappedAddress(0x70)));
+        assert_eq!(trace.len(), 1, "the faulting instruction does not retire");
+    }
+}

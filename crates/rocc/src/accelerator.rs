@@ -1,0 +1,466 @@
+//! The decimal accelerator (paper Fig. 4): decode/interface FSM, a sixteen
+//! entry × 128-bit register set, and a BCD-CLA-based execution unit.
+
+use std::collections::BTreeMap;
+
+use bcd::cla::BcdCla;
+use bcd::convert::double_dabble;
+use bcd::{Bcd128, Bcd64};
+use riscv_sim::{Coprocessor, CpuError, Memory, RoccCommand, RoccResponse};
+
+use crate::fsm::InterfaceFsm;
+use crate::isa::{decode_reg_address, DecimalFunct};
+
+/// Register-file index that serves as the wide accumulator (`ACC`).
+pub const ACC_INDEX: usize = 15;
+
+/// Per-function execution-unit busy cycles (excluding the core-side
+/// dispatch/response handshake, which the pipeline model charges).
+#[must_use]
+pub fn busy_cycles(funct: DecimalFunct, operand: u64) -> u32 {
+    match funct {
+        DecimalFunct::Wr
+        | DecimalFunct::Rd
+        | DecimalFunct::Accum
+        | DecimalFunct::ClrAll => 1,
+        DecimalFunct::Ld => 2,
+        // One pass through the BCD-CLA.
+        DecimalFunct::DecAdd | DecimalFunct::DecAdc => 1,
+        // Two chained CLA passes over the 128-bit width.
+        DecimalFunct::DecAccum | DecimalFunct::DecAddR => 2,
+        // Digit multiply-accumulate: the parallel 2X/4X/8X generators (paid
+        // for in area) compose the multiple in one pass, then the wide
+        // accumulate takes the second cycle.
+        DecimalFunct::DecMulD => 2,
+        // Iterative over sixteen multiplier digits plus setup/drain.
+        DecimalFunct::DecMul => 18,
+        // Shift-and-add-3: one cycle per significant input bit.
+        DecimalFunct::DecCnv => double_dabble(operand).cycles,
+    }
+}
+
+/// The decimal accelerator. Implements [`Coprocessor`] so it can be attached
+/// to any of the simulated cores, and can also be driven directly (the
+/// native Method-1 implementation does) via [`DecimalAccelerator::command`].
+///
+/// # Example
+///
+/// ```
+/// use rocc::{DecimalAccelerator, DecimalFunct};
+///
+/// # fn main() -> Result<(), riscv_sim::CpuError> {
+/// let mut acc = DecimalAccelerator::new();
+/// // 0x0905 + 0x0095 in BCD is 0x1000.
+/// let resp = acc.command(DecimalFunct::DecAdd, 0x0905, 0x0095, 0, 0, 0)?;
+/// assert_eq!(resp.rd_value, Some(0x1000));
+/// # Ok(())
+/// # }
+/// ```
+pub struct DecimalAccelerator {
+    /// Raw register file; decimal functions validate BCD on use.
+    regfile: [u128; 16],
+    bin_scratch: u64,
+    carry: bool,
+    cla: BcdCla,
+    fsm: InterfaceFsm,
+    command_counts: BTreeMap<DecimalFunct, u64>,
+    total_busy: u64,
+}
+
+impl Default for DecimalAccelerator {
+    fn default() -> Self {
+        DecimalAccelerator::new()
+    }
+}
+
+impl std::fmt::Debug for DecimalAccelerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecimalAccelerator")
+            .field("carry", &self.carry)
+            .field("total_busy", &self.total_busy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecimalAccelerator {
+    /// A cleared accelerator with a 16-digit BCD-CLA.
+    #[must_use]
+    pub fn new() -> Self {
+        DecimalAccelerator {
+            regfile: [0; 16],
+            bin_scratch: 0,
+            carry: false,
+            cla: BcdCla::new(16),
+            fsm: InterfaceFsm::new(),
+            command_counts: BTreeMap::new(),
+            total_busy: 0,
+        }
+    }
+
+    /// Enables interface-FSM transition tracing (see [`InterfaceFsm`]).
+    pub fn set_fsm_tracing(&mut self, on: bool) {
+        self.fsm.set_tracing(on);
+    }
+
+    /// The interface FSM (for inspecting the Fig. 5 trace).
+    #[must_use]
+    pub fn fsm(&self) -> &InterfaceFsm {
+        &self.fsm
+    }
+
+    /// The latched carry flag.
+    #[must_use]
+    pub fn carry(&self) -> bool {
+        self.carry
+    }
+
+    /// Raw contents of a register-file entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    #[must_use]
+    pub fn register(&self, index: usize) -> u128 {
+        self.regfile[index]
+    }
+
+    /// The wide accumulator (`regfile[15]`).
+    #[must_use]
+    pub fn acc(&self) -> u128 {
+        self.regfile[ACC_INDEX]
+    }
+
+    /// Total execution-unit busy cycles since construction/clear.
+    #[must_use]
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.total_busy
+    }
+
+    /// Per-function command counts since construction.
+    #[must_use]
+    pub fn command_counts(&self) -> &BTreeMap<DecimalFunct, u64> {
+        &self.command_counts
+    }
+
+    fn write_half(&mut self, field: u8, value: u64) {
+        let (index, half) = decode_reg_address(field);
+        let shift = 64 * half;
+        let mask = (u128::from(u64::MAX)) << shift;
+        self.regfile[index] = (self.regfile[index] & !mask) | (u128::from(value) << shift);
+    }
+
+    fn read_half(&self, field: u8) -> u64 {
+        let (index, half) = decode_reg_address(field);
+        (self.regfile[index] >> (64 * half)) as u64
+    }
+
+    fn bcd64_operand(value: u64) -> Result<Bcd64, CpuError> {
+        Bcd64::new(value).map_err(|_| CpuError::RoccProtocol("operand is not valid packed BCD"))
+    }
+
+    fn bcd128_reg(&self, index: usize) -> Result<Bcd128, CpuError> {
+        Bcd128::new(self.regfile[index])
+            .map_err(|_| CpuError::RoccProtocol("register does not hold valid packed BCD"))
+    }
+
+    fn digit_operand(value: u64) -> Result<u8, CpuError> {
+        if value <= 9 {
+            Ok(value as u8)
+        } else {
+            Err(CpuError::RoccProtocol("digit operand exceeds 9"))
+        }
+    }
+
+    /// Executes one function directly, without going through instruction
+    /// decode or a memory bus (so `LD` is rejected here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::UnknownRoccFunction`] or
+    /// [`CpuError::RoccProtocol`] on malformed operands.
+    pub fn command(
+        &mut self,
+        funct: DecimalFunct,
+        rs1_value: u64,
+        rs2_value: u64,
+        rd_field: u8,
+        rs1_field: u8,
+        rs2_field: u8,
+    ) -> Result<RoccResponse, CpuError> {
+        if funct == DecimalFunct::Ld {
+            return Err(CpuError::RoccProtocol("LD requires the memory interface"));
+        }
+        self.dispatch(funct, rs1_value, rs2_value, rd_field, rs1_field, rs2_field, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        funct: DecimalFunct,
+        rs1_value: u64,
+        rs2_value: u64,
+        rd_field: u8,
+        rs1_field: u8,
+        rs2_field: u8,
+        mem: Option<&mut Memory>,
+    ) -> Result<RoccResponse, CpuError> {
+        let mut rd_value = None;
+        let mut mem_accesses = 0;
+
+        match funct {
+            DecimalFunct::Wr => {
+                self.write_half(rs2_field, rs1_value);
+            }
+            DecimalFunct::Rd => {
+                rd_value = Some(self.read_half(rs1_field));
+            }
+            DecimalFunct::Ld => {
+                let mem = mem.ok_or(CpuError::RoccProtocol("LD requires the memory interface"))?;
+                let data = mem.read_u64(rs1_value)?;
+                self.write_half(rs2_field, data);
+                mem_accesses = 1;
+            }
+            DecimalFunct::Accum => {
+                self.bin_scratch = self.bin_scratch.wrapping_add(rs1_value);
+                rd_value = Some(self.bin_scratch);
+            }
+            DecimalFunct::DecAdd | DecimalFunct::DecAdc => {
+                let a = Self::bcd64_operand(rs1_value)?;
+                let b = Self::bcd64_operand(rs2_value)?;
+                let carry_in = funct == DecimalFunct::DecAdc && self.carry;
+                let (sum, carry_out) = self.cla.add(a, b, carry_in);
+                self.carry = carry_out;
+                rd_value = Some(sum.raw());
+            }
+            DecimalFunct::ClrAll => {
+                self.regfile = [0; 16];
+                self.bin_scratch = 0;
+                self.carry = false;
+            }
+            DecimalFunct::DecCnv => {
+                let hw = double_dabble(rs1_value);
+                self.regfile[ACC_INDEX] = hw.bcd.raw();
+                rd_value = Some(hw.bcd.raw() as u64);
+            }
+            DecimalFunct::DecMul => {
+                let (i1, _) = decode_reg_address(rs1_field);
+                let (i2, _) = decode_reg_address(rs2_field);
+                let a = Self::bcd64_operand(self.regfile[i1] as u64)?;
+                let b = Self::bcd64_operand(self.regfile[i2] as u64)?;
+                let product = a.full_mul(b);
+                self.regfile[ACC_INDEX] = product.raw();
+                rd_value = Some(product.raw() as u64);
+            }
+            DecimalFunct::DecAccum => {
+                let digit = Self::digit_operand(rs1_value)?;
+                let acc = self.bcd128_reg(ACC_INDEX)?;
+                let addend = self.bcd128_reg(usize::from(digit))?;
+                let (sum, carry) = acc.shl_digits(1).add(addend);
+                self.carry = carry;
+                self.regfile[ACC_INDEX] = sum.raw();
+            }
+            DecimalFunct::DecAddR => {
+                let (ia, _) = decode_reg_address(rs1_field);
+                let (ib, _) = decode_reg_address(rs2_field);
+                let (id, _) = decode_reg_address(rd_field);
+                let a = self.bcd128_reg(ia)?;
+                let b = self.bcd128_reg(ib)?;
+                let (sum, carry) = a.add(b);
+                self.carry = carry;
+                self.regfile[id] = sum.raw();
+            }
+            DecimalFunct::DecMulD => {
+                let digit = Self::digit_operand(rs1_value)?;
+                let x = Self::bcd64_operand(self.regfile[1] as u64)?;
+                let acc = self.bcd128_reg(ACC_INDEX)?;
+                let (sum, carry) = acc.shl_digits(1).add(x.mul_digit(digit));
+                self.carry = carry;
+                self.regfile[ACC_INDEX] = sum.raw();
+            }
+        }
+
+        let busy = busy_cycles(funct, rs1_value);
+        self.total_busy += u64::from(busy);
+        *self.command_counts.entry(funct).or_insert(0) += 1;
+        self.fsm.run_command(funct, rd_value.is_some());
+        Ok(RoccResponse {
+            rd_value,
+            busy_cycles: busy,
+            mem_accesses,
+        })
+    }
+}
+
+impl Coprocessor for DecimalAccelerator {
+    fn execute(&mut self, cmd: &RoccCommand, mem: &mut Memory) -> Result<RoccResponse, CpuError> {
+        let instr = cmd.instruction;
+        let funct = DecimalFunct::from_funct7(instr.funct7).ok_or(
+            CpuError::UnknownRoccFunction {
+                funct7: instr.funct7,
+            },
+        )?;
+        let resp = self.dispatch(
+            funct,
+            cmd.rs1_value,
+            cmd.rs2_value,
+            instr.rd.number(),
+            instr.rs1.number(),
+            instr.rs2.number(),
+            Some(mem),
+        )?;
+        // When xs-flags are clear, the field numbers double as accelerator
+        // addresses; when set, the values travelled in rs1_value/rs2_value —
+        // dispatch already received both forms.
+        if instr.xd && resp.rd_value.is_none() {
+            return Err(CpuError::MissingRoccResponse {
+                funct7: instr.funct7,
+            });
+        }
+        Ok(resp)
+    }
+
+    fn reset(&mut self) {
+        self.regfile = [0; 16];
+        self.bin_scratch = 0;
+        self.carry = false;
+        self.fsm.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc() -> DecimalAccelerator {
+        DecimalAccelerator::new()
+    }
+
+    #[test]
+    fn dec_add_and_carry() {
+        let mut a = acc();
+        let r = a
+            .command(DecimalFunct::DecAdd, 0x9999_9999_9999_9999, 0x1, 0, 0, 0)
+            .unwrap();
+        assert_eq!(r.rd_value, Some(0));
+        assert!(a.carry());
+        // Chain the carry into the high half.
+        let r2 = a.command(DecimalFunct::DecAdc, 0x5, 0x5, 0, 0, 0).unwrap();
+        assert_eq!(r2.rd_value, Some(0x11)); // 5 + 5 + 1 = 11 in BCD
+        assert!(!a.carry());
+    }
+
+    #[test]
+    fn dec_add_rejects_invalid_bcd() {
+        let mut a = acc();
+        assert!(matches!(
+            a.command(DecimalFunct::DecAdd, 0xA, 0x1, 0, 0, 0),
+            Err(CpuError::RoccProtocol(_))
+        ));
+    }
+
+    #[test]
+    fn wr_rd_halves() {
+        let mut a = acc();
+        a.command(DecimalFunct::Wr, 0x1234, 0, 0, 0, 3).unwrap(); // reg3 lo
+        a.command(DecimalFunct::Wr, 0x5678, 0, 0, 0, 0x13).unwrap(); // reg3 hi
+        assert_eq!(a.register(3), (0x5678u128 << 64) | 0x1234);
+        let lo = a.command(DecimalFunct::Rd, 0, 0, 0, 3, 0).unwrap();
+        let hi = a.command(DecimalFunct::Rd, 0, 0, 0, 0x13, 0).unwrap();
+        assert_eq!(lo.rd_value, Some(0x1234));
+        assert_eq!(hi.rd_value, Some(0x5678));
+    }
+
+    #[test]
+    fn binary_accumulator() {
+        let mut a = acc();
+        assert_eq!(
+            a.command(DecimalFunct::Accum, 5, 0, 0, 0, 0).unwrap().rd_value,
+            Some(5)
+        );
+        assert_eq!(
+            a.command(DecimalFunct::Accum, 7, 0, 0, 0, 0).unwrap().rd_value,
+            Some(12)
+        );
+    }
+
+    #[test]
+    fn clr_all_clears() {
+        let mut a = acc();
+        a.command(DecimalFunct::Wr, 42, 0, 0, 0, 1).unwrap();
+        a.command(DecimalFunct::DecAdd, 0x9999_9999_9999_9999, 1, 0, 0, 0)
+            .unwrap();
+        a.command(DecimalFunct::ClrAll, 0, 0, 0, 0, 0).unwrap();
+        assert_eq!(a.register(1), 0);
+        assert!(!a.carry());
+    }
+
+    #[test]
+    fn dec_cnv_converts_binary() {
+        let mut a = acc();
+        let r = a.command(DecimalFunct::DecCnv, 90_24, 0, 0, 0, 0).unwrap();
+        assert_eq!(r.rd_value, Some(0x9024));
+        assert!(r.busy_cycles >= 14, "9024 needs 14 bits");
+    }
+
+    #[test]
+    fn dec_mul_full_product_in_acc() {
+        let mut a = acc();
+        a.command(DecimalFunct::Wr, 0x9999_9999_9999_9999, 0, 0, 0, 1)
+            .unwrap();
+        a.command(DecimalFunct::Wr, 0x9999_9999_9999_9999, 0, 0, 0, 2)
+            .unwrap();
+        a.command(DecimalFunct::DecMul, 0, 0, 0, 1, 2).unwrap();
+        let product = bcd::Bcd128::new(a.acc()).unwrap();
+        assert_eq!(
+            product.to_value(),
+            9_999_999_999_999_999u128 * 9_999_999_999_999_999u128
+        );
+    }
+
+    #[test]
+    fn dec_accum_horner_step() {
+        let mut a = acc();
+        // reg1 = 7, reg2 = 3.
+        a.command(DecimalFunct::Wr, 0x7, 0, 0, 0, 1).unwrap();
+        a.command(DecimalFunct::Wr, 0x3, 0, 0, 0, 2).unwrap();
+        // acc = ((0*10)+7)*10 + 3 = 73
+        a.command(DecimalFunct::DecAccum, 1, 0, 0, 0, 0).unwrap();
+        a.command(DecimalFunct::DecAccum, 2, 0, 0, 0, 0).unwrap();
+        assert_eq!(a.acc(), 0x73);
+    }
+
+    #[test]
+    fn dec_accum_rejects_wide_digit() {
+        let mut a = acc();
+        assert!(a.command(DecimalFunct::DecAccum, 10, 0, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn dec_add_r_wide() {
+        let mut a = acc();
+        // reg1 = 16 nines in the low half, 1 in the high half ... build 17-digit value.
+        a.command(DecimalFunct::Wr, 0x9999_9999_9999_9999, 0, 0, 0, 1).unwrap();
+        a.command(DecimalFunct::Wr, 0x1, 0, 0, 0, 2).unwrap();
+        // reg3 = reg1 + reg2 (wide): 10^16.
+        a.command(DecimalFunct::DecAddR, 0, 0, 3, 1, 2).unwrap();
+        assert_eq!(a.register(3), 1u128 << 64);
+    }
+
+    #[test]
+    fn dec_muld_digit_multiply() {
+        let mut a = acc();
+        a.command(DecimalFunct::Wr, 0x123, 0, 0, 0, 1).unwrap();
+        // acc = 0*10 + 123*9 = 1107
+        a.command(DecimalFunct::DecMulD, 9, 0, 0, 0, 0).unwrap();
+        assert_eq!(a.acc(), 0x1107);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = acc();
+        a.command(DecimalFunct::DecAdd, 1, 2, 0, 0, 0).unwrap();
+        a.command(DecimalFunct::DecAdd, 3, 4, 0, 0, 0).unwrap();
+        assert_eq!(a.command_counts()[&DecimalFunct::DecAdd], 2);
+        assert_eq!(a.total_busy_cycles(), 2);
+    }
+}

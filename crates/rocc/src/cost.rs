@@ -1,0 +1,167 @@
+//! Hardware cost model for the accelerator design points.
+//!
+//! The paper motivates co-design by the Pareto trade-off between hardware
+//! cost and performance; its §V discusses the accelerator's "hardware
+//! overhead". This module assigns each method's accelerator configuration a
+//! first-order NAND2-equivalent gate count built from the `bcd::cla` block
+//! estimates, so the framework can print cost-vs-cycles Pareto tables.
+
+use bcd::cla::{regfile_cost, register_cost, BcdCla, GateCost};
+
+/// Which hardware blocks a design point instantiates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceleratorConfig {
+    /// Display name ("Method-1", …).
+    pub name: String,
+    /// BCD-CLA width in digits (every config has one — it is the paper's
+    /// single mandatory block).
+    pub cla_digits: u32,
+    /// Number of 128-bit register-file entries kept inside the accelerator.
+    pub wide_registers: u64,
+    /// A digit-multiple generator (×0..×9 selector built from shifted CLA
+    /// passes), used by Method-3.
+    pub digit_multiplier: bool,
+    /// A full 16×16-digit iterative multiplier datapath, used by Method-4.
+    pub full_multiplier: bool,
+    /// The shift-and-add-3 binary→BCD converter backing `DEC_CNV`.
+    pub converter: bool,
+}
+
+impl AcceleratorConfig {
+    /// Method-1 of the paper: one BCD-CLA, operands stream through the core
+    /// registers, the multiples table lives in core memory.
+    #[must_use]
+    pub fn method1() -> Self {
+        AcceleratorConfig {
+            name: "Method-1".into(),
+            cla_digits: 16,
+            wide_registers: 2, // cmd/operand staging registers only
+            digit_multiplier: false,
+            full_multiplier: false,
+            converter: false,
+        }
+    }
+
+    /// Method-2: the multiples table moves into a wide internal register
+    /// file, halving core↔accelerator traffic.
+    #[must_use]
+    pub fn method2() -> Self {
+        AcceleratorConfig {
+            name: "Method-2".into(),
+            cla_digits: 16,
+            // The multiples table 1X..9X plus the accumulator live inside.
+            wide_registers: 10,
+            digit_multiplier: false,
+            full_multiplier: false,
+            converter: false,
+        }
+    }
+
+    /// Method-3: a digit-multiple generator removes the multiples table
+    /// entirely; software only streams multiplier digits.
+    #[must_use]
+    pub fn method3() -> Self {
+        AcceleratorConfig {
+            name: "Method-3".into(),
+            cla_digits: 16,
+            wide_registers: 4,
+            digit_multiplier: true,
+            full_multiplier: false,
+            converter: false,
+        }
+    }
+
+    /// Method-4: the whole coefficient multiplication happens in hardware.
+    #[must_use]
+    pub fn method4() -> Self {
+        AcceleratorConfig {
+            name: "Method-4".into(),
+            cla_digits: 16,
+            wide_registers: 4,
+            digit_multiplier: true,
+            full_multiplier: true,
+            converter: false,
+        }
+    }
+
+    /// All four design points, in method order.
+    #[must_use]
+    pub fn all_methods() -> Vec<AcceleratorConfig> {
+        vec![
+            AcceleratorConfig::method1(),
+            AcceleratorConfig::method2(),
+            AcceleratorConfig::method3(),
+            AcceleratorConfig::method4(),
+        ]
+    }
+
+    /// Total area/delay estimate for this configuration.
+    #[must_use]
+    pub fn cost(&self) -> GateCost {
+        // Interface + decode + FSM: roughly 60 flops of command/response
+        // staging plus a few dozen gates of decode.
+        let mut total = GateCost {
+            gates: 420,
+            delay_levels: 3,
+        };
+        let cla = BcdCla::new(self.cla_digits.clamp(1, 16)).cost();
+        total = total.parallel(GateCost {
+            gates: cla.gates,
+            delay_levels: cla.delay_levels,
+        });
+        // Carry flag and its control are tiny and folded into the
+        // interface estimate above.
+        if self.wide_registers > 0 {
+            let rf = regfile_cost(self.wide_registers, 128);
+            total.gates += rf.gates;
+        }
+        if self.digit_multiplier {
+            // One-cycle X×digit needs 2X/4X/8X generated in parallel (three
+            // physical CLA-equivalents), a compose adder pair, and a 10:1
+            // selector.
+            total.gates += cla.gates * 5 + 128 * 10;
+        }
+        if self.full_multiplier {
+            // Iterative multiplier: wide accumulate datapath (two CLA
+            // widths), multiplier digit recoder, and control.
+            total.gates += cla.gates * 2 + register_cost(128).gates + 600;
+        }
+        if self.converter {
+            // Shift-and-add-3 correction logic across 32 digits.
+            total.gates += 32 * 12 + register_cost(128).gates;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_are_monotonically_larger() {
+        let costs: Vec<u64> = AcceleratorConfig::all_methods()
+            .iter()
+            .map(|c| c.cost().gates)
+            .collect();
+        assert!(
+            costs.windows(2).all(|w| w[0] < w[1]),
+            "gate counts must grow Method-1 .. Method-4: {costs:?}"
+        );
+    }
+
+    #[test]
+    fn method1_is_small() {
+        // Method-1's selling point: one CLA plus interface — a few thousand
+        // NAND2 equivalents at most.
+        let c = AcceleratorConfig::method1().cost();
+        assert!(c.gates < 5_000, "{} gates", c.gates);
+    }
+
+    #[test]
+    fn converter_adds_area() {
+        let mut with = AcceleratorConfig::method1();
+        with.converter = true;
+        assert!(with.cost().gates > AcceleratorConfig::method1().cost().gates);
+    }
+}

@@ -1,0 +1,162 @@
+//! Guest-side test-program generation.
+//!
+//! The generated program is the driver loop of the paper's framework: it
+//! walks an operand table, calls the kernel under test for each pair
+//! (repeating `repetitions` times, as the generator's "number of repetition
+//! per calculation" option configures), stores each result, and brackets
+//! the measurement region with `mark` syscalls so the harness can subtract
+//! setup cost.
+
+use std::fmt::Write as _;
+
+use crate::TestVector;
+
+/// Marker id recorded immediately before the measurement loop.
+pub const MARK_LOOP_START: u64 = 1;
+
+/// Marker id recorded immediately after the measurement loop.
+pub const MARK_LOOP_END: u64 = 2;
+
+/// Base marker id for per-sample markers (`MARK_SAMPLE_BASE + i` fires
+/// before sample `i` when per-sample marking is enabled).
+pub const MARK_SAMPLE_BASE: u64 = 0x1000;
+
+/// Memory layout contract between the driver and the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverLayout {
+    /// Number of operand pairs.
+    pub count: usize,
+    /// Repetitions per pair.
+    pub repetitions: u32,
+    /// Record a marker before every sample (enables per-class cycle
+    /// attribution at the cost of one `mark` syscall per sample).
+    pub per_sample_marks: bool,
+}
+
+/// Emits the `.data` section holding the operand table and result array.
+///
+/// Layout: `operands:` count pairs of dwords (x bits, y bits), then
+/// `results:` count dwords initialized to zero.
+#[must_use]
+pub fn operand_data_section(vectors: &[TestVector]) -> String {
+    let mut out = String::new();
+    out.push_str(".data\n.align 3\noperands:\n");
+    for v in vectors {
+        let (x, y) = v.to_decimal64_bits();
+        let _ = writeln!(out, "    .dword 0x{x:016X}, 0x{y:016X}  # {}", v.class);
+    }
+    let _ = writeln!(out, "results:\n    .space {}", vectors.len() * 8);
+    out
+}
+
+/// Emits the driver's `.text` (entry `start`), which calls the symbol
+/// `kernel` once per repetition per operand pair. The kernel receives the
+/// operands' decimal64 bits in `a0`/`a1` and returns the result bits in
+/// `a0`; it may clobber any caller-saved register.
+#[must_use]
+pub fn driver_source(layout: DriverLayout) -> String {
+    let mut out = String::new();
+    let count = layout.count;
+    let reps = layout.repetitions.max(1);
+    let per_sample = if layout.per_sample_marks {
+        format!(
+            "    mv   a0, s4
+    li   a7, 0x700
+    ecall                            # mark: sample boundary
+    addi s4, s4, 1
+"
+        )
+    } else {
+        String::new()
+    };
+    let _ = write!(
+        out,
+        r#"
+    .text
+start:
+    la   s0, operands
+    la   s1, results
+    li   s2, {count}
+    li   s4, {MARK_SAMPLE_BASE}
+    beqz s2, finish
+    li   a0, {MARK_LOOP_START}
+    li   a7, 0x700
+    ecall                      # mark: measurement region begins
+sample_loop:
+{per_sample}    li   s3, {reps}
+repeat_loop:
+    ld   a0, 0(s0)
+    ld   a1, 8(s0)
+    call kernel
+    addi s3, s3, -1
+    bnez s3, repeat_loop
+    sd   a0, 0(s1)
+    addi s0, s0, 16
+    addi s1, s1, 8
+    addi s2, s2, -1
+    bnez s2, sample_loop
+    li   a0, {MARK_LOOP_END}
+    li   a7, 0x700
+    ecall                      # mark: measurement region ends
+finish:
+    li   a0, 0
+    li   a7, 93
+    ecall
+"#
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TestConfig};
+
+    #[test]
+    fn data_section_shape() {
+        let config = TestConfig {
+            count: 5,
+            ..TestConfig::default()
+        };
+        let vectors = generate(&config);
+        let data = operand_data_section(&vectors);
+        assert!(data.contains("operands:"));
+        assert!(data.contains("results:"));
+        assert_eq!(data.matches(".dword").count(), 5);
+        assert!(data.contains(".space 40"));
+    }
+
+    #[test]
+    fn driver_contains_markers_and_kernel_call() {
+        let src = driver_source(DriverLayout {
+            count: 8,
+            repetitions: 3,
+            per_sample_marks: false,
+        });
+        assert!(src.contains("call kernel"));
+        assert!(src.contains("li   s3, 3"));
+        assert!(src.contains("li   s2, 8"));
+        assert!(src.contains("0x700"));
+    }
+
+    #[test]
+    fn per_sample_marks_emit_the_counter() {
+        let src = driver_source(DriverLayout {
+            count: 4,
+            repetitions: 1,
+            per_sample_marks: true,
+        });
+        assert!(src.contains("mv   a0, s4"));
+        assert!(src.contains("addi s4, s4, 1"));
+    }
+
+    #[test]
+    fn zero_repetitions_clamped_to_one() {
+        let src = driver_source(DriverLayout {
+            count: 1,
+            repetitions: 0,
+            per_sample_marks: false,
+        });
+        assert!(src.contains("li   s3, 1"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Accelerator tour: the hardware side of the framework — the instruction
+//! set (Table II), the interface FSM transitions (Fig. 5), the encoding of
+//! the custom instructions (Fig. 3 / Table III), and the area estimates
+//! behind the Pareto analysis.
+//!
+//! ```text
+//! cargo run --release --example accelerator_tour
+//! ```
+
+use decimalarith::codesign::report;
+use decimalarith::rocc::{AcceleratorConfig, DecimalAccelerator, DecimalFunct};
+
+fn main() {
+    // Table II: the instruction set.
+    println!("{}", report::table2());
+
+    // Table III / Fig. 3: encodings.
+    println!("{}", report::table3());
+
+    // Fig. 5: drive the accelerator and print the interface-FSM trace.
+    println!("Fig. 5: interface FSM transitions for a command sequence");
+    let mut accelerator = DecimalAccelerator::new();
+    accelerator.set_fsm_tracing(true);
+    accelerator
+        .command(DecimalFunct::ClrAll, 0, 0, 0, 0, 0)
+        .expect("CLR_ALL executes");
+    accelerator
+        .command(DecimalFunct::Wr, 0x0905, 0, 0, 0, 1)
+        .expect("WR executes");
+    accelerator
+        .command(DecimalFunct::DecAdd, 0x0905, 0x0095, 0, 0, 0)
+        .expect("DEC_ADD executes");
+    accelerator
+        .command(DecimalFunct::Rd, 0, 0, 0, 1, 0)
+        .expect("RD executes");
+    for transition in accelerator.fsm().trace() {
+        println!("  {transition}");
+    }
+
+    // Fig. 4 in numbers: the blocks and their estimated cost.
+    println!("\nFig. 4 block costs (NAND2-equivalent gates):");
+    let cla = decimalarith::bcd::cla::BcdCla::new(16).cost();
+    println!("  16-digit BCD-CLA execution unit : {:>6} gates, {} levels", cla.gates, cla.delay_levels);
+    for config in AcceleratorConfig::all_methods() {
+        let cost = config.cost();
+        println!(
+            "  {:<10} accelerator total     : {:>6} gates, {} levels",
+            config.name, cost.gates, cost.delay_levels
+        );
+    }
+
+    // The latched-carry mechanism that chains 64-bit halves.
+    println!("\ncarry chaining demo (17-digit multiple 9 x 9999999999999999):");
+    let mut acc = DecimalAccelerator::new();
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    for _ in 0..9 {
+        lo = acc
+            .command(DecimalFunct::DecAdd, lo, 0x9999_9999_9999_9999, 0, 0, 0)
+            .expect("DEC_ADD executes")
+            .rd_value
+            .expect("responds");
+        hi = acc
+            .command(DecimalFunct::DecAdc, hi, 0, 0, 0, 0)
+            .expect("DEC_ADC executes")
+            .rd_value
+            .expect("responds");
+    }
+    println!("  9X = {hi:x}{lo:016x} (BCD)");
+    assert_eq!(format!("{hi:x}{lo:016x}"), "89999999999999991");
+}

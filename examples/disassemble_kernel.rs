@@ -1,0 +1,49 @@
+//! Prints the assembled Method-1 guest kernel as a disassembly listing —
+//! the generated machine code a cross-toolchain would have produced, with
+//! the custom-0 RoCC instructions visible inline.
+//!
+//! ```text
+//! cargo run --release --example disassemble_kernel -- method1
+//! ```
+
+use decimalarith::codesign::framework::build_guest;
+use decimalarith::codesign::kernels::KernelKind;
+use decimalarith::testgen::{generate, TestConfig};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "method1".into());
+    let kind = match which.as_str() {
+        "software" => KernelKind::Software,
+        "bid" => KernelKind::SoftwareBid,
+        "method1" => KernelKind::Method1,
+        "dummy" => KernelKind::Method1Dummy,
+        "method2" => KernelKind::Method2,
+        "method3" => KernelKind::Method3,
+        "method4" => KernelKind::Method4,
+        other => {
+            eprintln!("unknown kernel {other:?}; use software|bid|method1|dummy|method2|method3|method4");
+            std::process::exit(2);
+        }
+    };
+    let vectors = generate(&TestConfig {
+        count: 1,
+        ..TestConfig::default()
+    });
+    let guest = build_guest(kind, &vectors, 1).expect("kernel assembles");
+    let listing = guest.program.disassemble();
+    println!(
+        "{} — {} instructions, {} bytes of text, {} bytes of data\n",
+        kind.name(),
+        listing.len(),
+        guest.program.text.data.len(),
+        guest.program.data.data.len(),
+    );
+    let mut custom_count = 0;
+    for (addr, word, text) in &listing {
+        if text.contains("custom") {
+            custom_count += 1;
+        }
+        println!("{addr:#010x}  {word:08x}  {text}");
+    }
+    println!("\n{custom_count} custom-0 (RoCC) instruction sites in the binary");
+}

@@ -1,0 +1,102 @@
+//! Fig. 1 walk-through: traces Method-1's flow for one multiplication —
+//! special check, sign/exponent, multiplicand multiples out of the BCD-CLA,
+//! partial-product accumulation, rounding, and repacking.
+//!
+//! ```text
+//! cargo run --release --example trace_method1 -- 9024 3.07
+//! ```
+
+use decimalarith::bcd::Bcd64;
+use decimalarith::codesign::backend::{AccelBackend, ClaBackend};
+use decimalarith::codesign::native::method1_multiply;
+use decimalarith::codesign::{format_decimal64, parse_decimal64};
+use decimalarith::decnum::Status;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let xs = args.next().unwrap_or_else(|| "902.4".to_string());
+    let ys = args.next().unwrap_or_else(|| "11.1".to_string());
+    let x = parse_decimal64(&xs).expect("first operand parses");
+    let y = parse_decimal64(&ys).expect("second operand parses");
+
+    println!("Method-1 flow (paper Fig. 1) for {xs} x {ys}\n");
+    println!("input X = {} (bits {:#018x})", format_decimal64(x), x.to_bits());
+    println!("input Y = {} (bits {:#018x})", format_decimal64(y), y.to_bits());
+
+    if !x.is_finite() || !y.is_finite() {
+        println!("Special? yes -> special-value rules apply");
+    } else {
+        println!("Special? no");
+        let xp = x.to_parts().expect("finite");
+        let yp = y.to_parts().expect("finite");
+        println!(
+            "sign: {} xor {} = {}",
+            xp.sign,
+            yp.sign,
+            xp.sign.xor(yp.sign)
+        );
+        println!(
+            "temp exponent: {} + {} = {}",
+            xp.exponent,
+            yp.exponent,
+            xp.exponent + yp.exponent
+        );
+        println!(
+            "coefficients (DPD converted to BCD): Xc = {:#x}, Yc = {:#x}",
+            xp.coefficient.raw(),
+            yp.coefficient.raw()
+        );
+
+        // Reproduce the multiples table out of the accelerator, with trace.
+        println!("\nmultiplicand multiples via the BCD-CLA (pp[i+1] = pp[i] + pp[1]):");
+        let mut backend = ClaBackend::new();
+        let mut mm = [(0u64, 0u64); 10];
+        mm[1] = (0, xp.coefficient.raw());
+        for i in 1..9 {
+            let lo = backend.dec_add(mm[i].1, mm[1].1);
+            let hi = backend.dec_adc(mm[i].0, mm[1].0);
+            mm[i + 1] = (hi, lo);
+        }
+        for (i, (hi, lo)) in mm.iter().enumerate() {
+            println!(
+                "  {}X = {}{}",
+                i,
+                if *hi != 0 {
+                    format!("{:x}", Bcd64::from_raw_unchecked(*hi))
+                } else {
+                    String::new()
+                },
+                format!("{:016x}", lo),
+            );
+        }
+
+        println!("\naccumulation (result = result*10 + pp[digit of Yc], msd first):");
+        let (mut hi, mut lo) = (0u64, 0u64);
+        for j in (0..16).rev() {
+            let d = yp.coefficient.digit(j) as usize;
+            hi = (hi << 4) | (lo >> 60);
+            lo <<= 4;
+            lo = backend.dec_add(lo, mm[d].1);
+            hi = backend.dec_adc(hi, mm[d].0);
+            if d != 0 || hi != 0 || lo != 0 {
+                println!("  digit {d}: product = {hi:016x}{lo:016x}");
+            }
+        }
+        println!("\naccelerator calls so far: {}", backend.calls());
+    }
+
+    let mut backend = ClaBackend::new();
+    let mut status = Status::CLEAR;
+    let result = method1_multiply(x, y, &mut backend, &mut status);
+    println!(
+        "\nfinal result after rounding/packing: {} (bits {:#018x})",
+        format_decimal64(result),
+        result.to_bits()
+    );
+    println!("status flags: {status}");
+    println!("total accelerator invocations: {}", backend.calls());
+    println!(
+        "accelerator execution-unit busy cycles: {}",
+        backend.accelerator().total_busy_cycles()
+    );
+}

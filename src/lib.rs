@@ -1,0 +1,40 @@
+//! # decimalarith — software-hardware co-design of decimal computation,
+//! evaluated cycle-accurately in a RISC-V ecosystem
+//!
+//! This workspace reproduces Mian, Shintani & Inoue, *"Cycle-Accurate
+//! Evaluation of Software-Hardware Co-Design of Decimal Computation in
+//! RISC-V Ecosystem"* (SOCC 2019): a framework in which a decimal
+//! accelerator (one BCD carry-lookahead adder behind the RoCC interface)
+//! and the software around it are evaluated together, cycle-accurately, on
+//! a Rocket-like RISC-V core — against a decNumber-style pure-software
+//! baseline and against the prior art's dummy-function estimation.
+//!
+//! This crate is the umbrella: it re-exports every subsystem so examples
+//! and downstream users can depend on one crate.
+//!
+//! ```
+//! use decimalarith::codesign::native::{method1_multiply_accel, software_multiply};
+//! use decimalarith::decnum::Status;
+//!
+//! let x = decimalarith::codesign::parse_decimal64("19.99").unwrap();
+//! let y = decimalarith::codesign::parse_decimal64("3").unwrap();
+//! let mut s = Status::CLEAR;
+//! let product = method1_multiply_accel(x, y, &mut s);
+//! let mut s2 = Status::CLEAR;
+//! assert_eq!(product.to_bits(), software_multiply(x, y, &mut s2).to_bits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atomic_sim;
+pub use bcd;
+pub use codesign;
+pub use decnum;
+pub use dpd;
+pub use riscv_asm;
+pub use riscv_isa;
+pub use riscv_sim;
+pub use rocc;
+pub use rocket_sim;
+pub use testgen;

@@ -1,0 +1,143 @@
+//! Failure injection: the framework must fail loudly and precisely, not
+//! silently, when guests or inputs are malformed.
+
+use decimalarith::riscv_asm::assemble;
+use decimalarith::riscv_isa::Reg;
+use decimalarith::riscv_sim::{Cpu, CpuError};
+use decimalarith::rocc::DecimalAccelerator;
+
+fn run_with_accel(source: &str) -> Result<i64, CpuError> {
+    let program = assemble(source).expect("test program assembles");
+    let mut cpu = Cpu::new();
+    cpu.attach_coprocessor(Box::new(DecimalAccelerator::new()));
+    for seg in program.segments() {
+        if !seg.data.is_empty() {
+            cpu.memory.load_bytes(seg.base, &seg.data).unwrap();
+        }
+    }
+    cpu.set_pc(program.entry);
+    cpu.set_reg(Reg::SP, decimalarith::riscv_asm::STACK_TOP);
+    cpu.run(100_000)
+}
+
+#[test]
+fn invalid_bcd_operand_to_dec_add_faults() {
+    let result = run_with_accel(
+        "
+        start:
+            li a0, 0xA           # not a decimal digit
+            li a1, 0x1
+            custom0 4, a2, a1, a0, 1, 1, 1
+            li a7, 93
+            ecall
+        ",
+    );
+    assert!(
+        matches!(result, Err(CpuError::RoccProtocol(_))),
+        "got {result:?}"
+    );
+}
+
+#[test]
+fn unknown_rocc_function_faults() {
+    let result = run_with_accel(
+        "
+        start:
+            custom0 99, a0, a1, a2, 1, 1, 1
+            li a7, 93
+            ecall
+        ",
+    );
+    assert!(
+        matches!(result, Err(CpuError::UnknownRoccFunction { funct7: 99 })),
+        "got {result:?}"
+    );
+}
+
+#[test]
+fn custom_instruction_without_accelerator_faults() {
+    let program = assemble(
+        "
+        start:
+            custom0 4, a2, a1, a0, 1, 1, 1
+            li a7, 93
+            ecall
+        ",
+    )
+    .unwrap();
+    let mut cpu = Cpu::new(); // no coprocessor attached
+    for seg in program.segments() {
+        if !seg.data.is_empty() {
+            cpu.memory.load_bytes(seg.base, &seg.data).unwrap();
+        }
+    }
+    cpu.set_pc(program.entry);
+    assert!(matches!(
+        cpu.run(100),
+        Err(CpuError::NoCoprocessor { funct7: 4 })
+    ));
+}
+
+#[test]
+fn wild_load_faults_with_the_address() {
+    let result = run_with_accel(
+        "
+        start:
+            li t0, 0x12345678
+            ld a0, 0(t0)
+            li a7, 93
+            ecall
+        ",
+    );
+    assert!(
+        matches!(result, Err(CpuError::UnmappedAddress(0x1234_5678))),
+        "got {result:?}"
+    );
+}
+
+#[test]
+fn runaway_guest_hits_the_instruction_limit() {
+    let result = run_with_accel(
+        "
+        start:
+            j start
+        ",
+    );
+    assert!(matches!(result, Err(CpuError::InstructionLimit(_))));
+}
+
+#[test]
+fn assembler_reports_precise_errors() {
+    for (source, needle) in [
+        ("start:\n    addi a0, a0, 5000\n", "immediate"),
+        ("start:\n    frobnicate a0\n", "unknown mnemonic"),
+        ("start:\n    beq a0, a1, nowhere\n", "undefined symbol"),
+        ("start:\n    ld a0, 16\n", "offset(base)"),
+        ("start:\n    .bogus 3\n", "unknown directive"),
+    ] {
+        let err = assemble(source).expect_err(source);
+        assert!(
+            err.message.contains(needle),
+            "{source:?}: expected {needle:?} in {:?}",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn ld_through_rocc_memory_interface_faults_on_unmapped() {
+    // LD (funct7=2) reads memory at the address in rs1.
+    let result = run_with_accel(
+        "
+        start:
+            li a0, 0x666000
+            custom0 2, zero, a0, x1, 0, 1, 0
+            li a7, 93
+            ecall
+        ",
+    );
+    assert!(
+        matches!(result, Err(CpuError::UnmappedAddress(0x66_6000))),
+        "got {result:?}"
+    );
+}
