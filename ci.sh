@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 (build + full test suite) plus a bounded,
+# fixed-seed differential fuzz pass over all three simulator pairs.
+# Everything here is deterministic; a red run reproduces locally with the
+# same commands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== differential verification (bounded) =="
+# Conformance on a CI-sized database slice, a 200-program fuzz run, and
+# the RoCC command differential — all on the paper's seed. The full
+# 8,000-sample configuration is the same binary with --samples 8000.
+cargo run --release -p decimal-bench --bin lockstep -- all \
+    --seed 2019 --samples 200 --programs 200 --commands 10000
+
+echo "ci: all checks passed"

@@ -1,0 +1,169 @@
+//! Differential verification driver: lockstep-checks the three simulators
+//! against each other, the kernels against the verification database, and
+//! the accelerator against its software model.
+//!
+//! ```text
+//! lockstep [conformance|fuzz|rocc|all] [--samples N] [--seed S]
+//!          [--programs N] [--body N] [--commands N] [--no-rocc]
+//! ```
+//!
+//! Defaults: `all`, 200 database samples (the paper's 8,000-sample
+//! configuration scaled down for CI — pass `--samples 8000` for the full
+//! database), seed 2019, 200 fuzz programs.
+//!
+//! Exits nonzero on any divergence, printing the full report (pc,
+//! instruction, register/memory delta, retirement context) and the shrunk
+//! reproducing program for fuzz failures.
+
+use codesign::kernels::KernelKind;
+use lockstep::fuzz::{run_fuzz, FuzzConfig};
+use lockstep::rocc_diff::fuzz_rocc_commands;
+use lockstep::{check_kernel_all_pairs, Pair};
+use testgen::TestConfig;
+
+struct Options {
+    what: String,
+    samples: usize,
+    seed: u64,
+    programs: u32,
+    body_items: usize,
+    commands: u32,
+    with_rocc: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        what: "all".to_string(),
+        samples: 200,
+        seed: 2019,
+        programs: 200,
+        body_items: 40,
+        commands: 10_000,
+        with_rocc: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut number = |flag: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+        };
+        match arg.as_str() {
+            "--samples" => options.samples = number("--samples") as usize,
+            "--seed" => options.seed = number("--seed"),
+            "--programs" => options.programs = number("--programs") as u32,
+            "--body" => options.body_items = number("--body") as usize,
+            "--commands" => options.commands = number("--commands") as u32,
+            "--no-rocc" => options.with_rocc = false,
+            "conformance" | "fuzz" | "rocc" | "all" => options.what = arg,
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    options
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: lockstep [conformance|fuzz|rocc|all] [--samples N] [--seed S] \
+         [--programs N] [--body N] [--commands N] [--no-rocc]"
+    );
+    std::process::exit(2);
+}
+
+/// Lockstep-checks every kernel over the verification database on every
+/// simulator pair. Returns the number of divergences.
+fn conformance(options: &Options) -> u32 {
+    println!(
+        "— conformance: {} samples, seed {}, {} kernels × {} pairs",
+        options.samples,
+        options.seed,
+        KernelKind::ALL.len(),
+        Pair::ALL.len()
+    );
+    let vectors = testgen::generate(&TestConfig {
+        count: options.samples,
+        seed: options.seed,
+        ..TestConfig::default()
+    });
+    let mut divergences = 0;
+    for kind in KernelKind::ALL {
+        match check_kernel_all_pairs(kind, &vectors) {
+            None => println!("  {kind:<16} all pairs agree"),
+            Some((pair, outcome)) => {
+                divergences += 1;
+                println!("  {kind:<16} DIVERGED on {pair}:");
+                if let Some(divergence) = outcome.divergence() {
+                    println!("{divergence}");
+                }
+            }
+        }
+    }
+    divergences
+}
+
+/// Runs the differential instruction fuzzer. Returns the failure count.
+fn fuzz(options: &Options) -> u32 {
+    println!(
+        "— fuzz: {} programs × {} pairs, seed {}, {} body items, rocc {}",
+        options.programs,
+        Pair::ALL.len(),
+        options.seed,
+        options.body_items,
+        if options.with_rocc { "on" } else { "off" }
+    );
+    let report = run_fuzz(&FuzzConfig {
+        seed: options.seed,
+        programs: options.programs,
+        body_items: options.body_items,
+        with_rocc: options.with_rocc,
+        ..FuzzConfig::default()
+    });
+    println!(
+        "  {} programs, {} pair runs, {} instructions compared in lockstep",
+        report.programs_run, report.pairs_checked, report.instructions_checked
+    );
+    for failure in &report.failures {
+        println!(
+            "  program {} DIVERGED on {}:\n{}\n  minimal reproducer:\n{}",
+            failure.program_index, failure.pair, failure.divergence, failure.shrunk_source
+        );
+    }
+    report.failures.len() as u32
+}
+
+/// Runs the RoCC command-level differential. Returns the mismatch count.
+fn rocc(options: &Options) -> u32 {
+    println!(
+        "— rocc: {} commands against the software model, seed {}",
+        options.commands, options.seed
+    );
+    let report = fuzz_rocc_commands(options.seed, options.commands);
+    println!("  {} commands compared", report.commands_run);
+    for mismatch in &report.mismatches {
+        println!(
+            "  command {} ({}) MISMATCHED: {}",
+            mismatch.index, mismatch.funct, mismatch.detail
+        );
+    }
+    report.mismatches.len() as u32
+}
+
+fn main() {
+    let options = parse_args();
+    let mut failures = 0;
+    if matches!(options.what.as_str(), "conformance" | "all") {
+        failures += conformance(&options);
+    }
+    if matches!(options.what.as_str(), "fuzz" | "all") {
+        failures += fuzz(&options);
+    }
+    if matches!(options.what.as_str(), "rocc" | "all") {
+        failures += rocc(&options);
+    }
+    if failures > 0 {
+        eprintln!("{failures} divergence(s) found");
+        std::process::exit(1);
+    }
+    println!("all differential checks passed");
+}

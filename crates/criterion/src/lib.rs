@@ -1,0 +1,192 @@
+//! A self-contained, offline stand-in for the `criterion` crate.
+//!
+//! Provides the surface this workspace's benches use — [`Criterion`],
+//! [`black_box`], `bench_function`, `benchmark_group` (with
+//! `sample_size`/`finish`), [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! median-of-samples wall-clock timer. No statistics, plots, or baselines:
+//! just honest ns/iter numbers on stdout so the benches keep running in a
+//! network-less container.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting a
+/// computation or const-folding its input.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs the measured closure and reports timing per iteration.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Times `f`, auto-calibrating the iteration count so each sample runs
+    /// at least ~1 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        // Sample.
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+}
+
+fn report(label: &str, bencher: &Bencher) {
+    let ns = bencher.median_ns();
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!(
+        "{label:<48} {value:>10.3} {unit}/iter  ({} iters/sample, {} samples)",
+        bencher.iters_per_sample,
+        bencher.samples.len()
+    );
+}
+
+/// The bench driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&name.to_string(), &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("— group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks (shares a heading and a sample size).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&format!("  {name}"), &bencher);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+                acc
+            })
+        });
+    }
+}

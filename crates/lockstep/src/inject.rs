@@ -1,0 +1,94 @@
+//! Accelerator fault injectors: wrappers around the real
+//! [`DecimalAccelerator`] that introduce realistic hardware bugs, for
+//! proving the lockstep comparator catches RoCC-level divergences (run a
+//! core with the real accelerator against a core with a faulty one).
+
+use riscv_sim::{Coprocessor, CpuError, Memory, RoccCommand, RoccResponse};
+use rocc::{DecimalAccelerator, DecimalFunct};
+
+/// An accelerator whose datapath computes one digit wrong: every response
+/// of the trigger function has its least-significant digit incremented
+/// (mod 10) — the classic off-by-one a broken BCD adder cell produces.
+#[derive(Debug)]
+pub struct WrongDigitAccelerator {
+    inner: DecimalAccelerator,
+    trigger: DecimalFunct,
+}
+
+impl WrongDigitAccelerator {
+    /// A faulty accelerator corrupting responses of `trigger`.
+    #[must_use]
+    pub fn new(trigger: DecimalFunct) -> Self {
+        WrongDigitAccelerator {
+            inner: DecimalAccelerator::new(),
+            trigger,
+        }
+    }
+}
+
+impl Coprocessor for WrongDigitAccelerator {
+    fn execute(&mut self, cmd: &RoccCommand, mem: &mut Memory) -> Result<RoccResponse, CpuError> {
+        let mut response = self.inner.execute(cmd, mem)?;
+        if DecimalFunct::from_funct7(cmd.instruction.funct7) == Some(self.trigger) {
+            if let Some(value) = response.rd_value {
+                let low_digit = value & 0xF;
+                response.rd_value = Some((value & !0xF) | ((low_digit + 1) % 10));
+            }
+        }
+        Ok(response)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// An accelerator whose interface FSM wedges after a number of commands:
+/// once stuck, commands no longer reach the execution unit and every
+/// response replays the last `rd` value the interface latched (stale data,
+/// no state update) — modelling a Fig. 5 FSM that stops advancing.
+#[derive(Debug)]
+pub struct StuckFsmAccelerator {
+    inner: DecimalAccelerator,
+    stuck_after: u64,
+    commands_seen: u64,
+    last_rd: u64,
+}
+
+impl StuckFsmAccelerator {
+    /// An accelerator that serves `stuck_after` commands correctly, then
+    /// wedges.
+    #[must_use]
+    pub fn new(stuck_after: u64) -> Self {
+        StuckFsmAccelerator {
+            inner: DecimalAccelerator::new(),
+            stuck_after,
+            commands_seen: 0,
+            last_rd: 0,
+        }
+    }
+}
+
+impl Coprocessor for StuckFsmAccelerator {
+    fn execute(&mut self, cmd: &RoccCommand, mem: &mut Memory) -> Result<RoccResponse, CpuError> {
+        self.commands_seen += 1;
+        if self.commands_seen <= self.stuck_after {
+            let response = self.inner.execute(cmd, mem)?;
+            if let Some(value) = response.rd_value {
+                self.last_rd = value;
+            }
+            return Ok(response);
+        }
+        Ok(RoccResponse {
+            rd_value: cmd.instruction.xd.then_some(self.last_rd),
+            busy_cycles: 1,
+            mem_accesses: 0,
+        })
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.commands_seen = 0;
+        self.last_rd = 0;
+    }
+}

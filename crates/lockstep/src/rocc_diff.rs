@@ -1,0 +1,295 @@
+//! Command-level differential checking of the decimal accelerator against
+//! an independent software model.
+//!
+//! The model reimplements every accelerator function over plain binary
+//! `u128` arithmetic (decode packed BCD to a value, compute, re-encode) —
+//! deliberately sharing nothing with the `bcd` crate's carry-lookahead
+//! datapath the accelerator is built on, so an error in either shows up as
+//! a mismatch.
+
+use rocc::{DecimalAccelerator, DecimalFunct, ACC_INDEX};
+
+use crate::fuzz::SplitMix64;
+
+const POW10_16: u128 = 10u128.pow(16);
+const POW10_32: u128 = 10u128.pow(32);
+
+/// Decodes `digits` packed-BCD nibbles into a binary value; `None` if any
+/// nibble exceeds 9.
+fn bcd_value(raw: u128, digits: u32) -> Option<u128> {
+    let mut value: u128 = 0;
+    for position in (0..digits).rev() {
+        let nibble = (raw >> (4 * position)) & 0xF;
+        if nibble > 9 {
+            return None;
+        }
+        value = value * 10 + nibble;
+    }
+    Some(value)
+}
+
+/// Encodes a binary value into packed BCD (low 32 digits).
+fn bcd_encode(mut value: u128) -> u128 {
+    let mut raw: u128 = 0;
+    for position in 0..32 {
+        raw |= (value % 10) << (4 * position);
+        value /= 10;
+    }
+    raw
+}
+
+/// The independent software model of the accelerator's architectural state.
+#[derive(Debug, Clone, Default)]
+pub struct SoftwareModel {
+    regs: [u128; 16],
+    bin_scratch: u64,
+    carry: bool,
+}
+
+impl SoftwareModel {
+    /// A cleared model.
+    #[must_use]
+    pub fn new() -> Self {
+        SoftwareModel::default()
+    }
+
+    /// Raw contents of a register-file entry.
+    #[must_use]
+    pub fn register(&self, index: usize) -> u128 {
+        self.regs[index]
+    }
+
+    /// The latched carry.
+    #[must_use]
+    pub fn carry(&self) -> bool {
+        self.carry
+    }
+
+    fn write_half(&mut self, field: u8, value: u64) {
+        let index = (field & 0xF) as usize;
+        let half = u32::from((field >> 4) & 1);
+        let shift = 64 * half;
+        let mask = u128::from(u64::MAX) << shift;
+        self.regs[index] = (self.regs[index] & !mask) | (u128::from(value) << shift);
+    }
+
+    /// Executes one function; returns the `rd` value (if the function
+    /// produces one) or an error message for protocol violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when an operand is not valid BCD or a digit
+    /// exceeds 9 — the same conditions the accelerator rejects.
+    pub fn command(
+        &mut self,
+        funct: DecimalFunct,
+        rs1_value: u64,
+        rs2_value: u64,
+        rd_field: u8,
+        rs1_field: u8,
+        rs2_field: u8,
+    ) -> Result<Option<u64>, &'static str> {
+        match funct {
+            DecimalFunct::Wr => {
+                self.write_half(rs2_field, rs1_value);
+                Ok(None)
+            }
+            DecimalFunct::Rd => {
+                let index = (rs1_field & 0xF) as usize;
+                let half = u32::from((rs1_field >> 4) & 1);
+                Ok(Some((self.regs[index] >> (64 * half)) as u64))
+            }
+            DecimalFunct::Ld => Err("LD requires the memory interface"),
+            DecimalFunct::Accum => {
+                self.bin_scratch = self.bin_scratch.wrapping_add(rs1_value);
+                Ok(Some(self.bin_scratch))
+            }
+            DecimalFunct::DecAdd | DecimalFunct::DecAdc => {
+                let a = bcd_value(u128::from(rs1_value), 16).ok_or("invalid BCD operand")?;
+                let b = bcd_value(u128::from(rs2_value), 16).ok_or("invalid BCD operand")?;
+                let carry_in =
+                    u128::from(funct == DecimalFunct::DecAdc && self.carry);
+                let sum = a + b + carry_in;
+                self.carry = sum >= POW10_16;
+                Ok(Some(bcd_encode(sum % POW10_16) as u64))
+            }
+            DecimalFunct::ClrAll => {
+                self.regs = [0; 16];
+                self.bin_scratch = 0;
+                self.carry = false;
+                Ok(None)
+            }
+            DecimalFunct::DecCnv => {
+                let encoded = bcd_encode(u128::from(rs1_value));
+                self.regs[ACC_INDEX] = encoded;
+                Ok(Some(encoded as u64))
+            }
+            DecimalFunct::DecMul => {
+                let i1 = (rs1_field & 0xF) as usize;
+                let i2 = (rs2_field & 0xF) as usize;
+                let a = bcd_value(u128::from(self.regs[i1] as u64), 16)
+                    .ok_or("register is not valid BCD")?;
+                let b = bcd_value(u128::from(self.regs[i2] as u64), 16)
+                    .ok_or("register is not valid BCD")?;
+                let product = bcd_encode(a * b);
+                self.regs[ACC_INDEX] = product;
+                Ok(Some(product as u64))
+            }
+            DecimalFunct::DecAccum => {
+                if rs1_value > 9 {
+                    return Err("digit operand exceeds 9");
+                }
+                let acc = bcd_value(self.regs[ACC_INDEX], 32).ok_or("accumulator not BCD")?;
+                let addend = bcd_value(self.regs[rs1_value as usize], 32)
+                    .ok_or("register is not valid BCD")?;
+                let sum = (acc * 10) % POW10_32 + addend;
+                self.carry = sum >= POW10_32;
+                self.regs[ACC_INDEX] = bcd_encode(sum % POW10_32);
+                Ok(None)
+            }
+            DecimalFunct::DecAddR => {
+                let ia = (rs1_field & 0xF) as usize;
+                let ib = (rs2_field & 0xF) as usize;
+                let id = (rd_field & 0xF) as usize;
+                let a = bcd_value(self.regs[ia], 32).ok_or("register is not valid BCD")?;
+                let b = bcd_value(self.regs[ib], 32).ok_or("register is not valid BCD")?;
+                let sum = a + b;
+                self.carry = sum >= POW10_32;
+                self.regs[id] = bcd_encode(sum % POW10_32);
+                Ok(None)
+            }
+            DecimalFunct::DecMulD => {
+                if rs1_value > 9 {
+                    return Err("digit operand exceeds 9");
+                }
+                let x = bcd_value(u128::from(self.regs[1] as u64), 16)
+                    .ok_or("register is not valid BCD")?;
+                let acc = bcd_value(self.regs[ACC_INDEX], 32).ok_or("accumulator not BCD")?;
+                let sum = (acc * 10) % POW10_32 + x * rs1_value as u128;
+                self.carry = sum >= POW10_32;
+                self.regs[ACC_INDEX] = bcd_encode(sum % POW10_32);
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// One accelerator/model disagreement.
+#[derive(Debug, Clone)]
+pub struct RoccMismatch {
+    /// Command index in the generated sequence.
+    pub index: u32,
+    /// The function that disagreed.
+    pub funct: DecimalFunct,
+    /// What differed.
+    pub detail: String,
+}
+
+/// Outcome of a RoCC command-level differential campaign.
+#[derive(Debug, Clone)]
+pub struct RoccDiffReport {
+    /// Commands executed on both sides.
+    pub commands_run: u32,
+    /// All disagreements found.
+    pub mismatches: Vec<RoccMismatch>,
+}
+
+impl RoccDiffReport {
+    /// True if accelerator and model agreed throughout.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// A random valid packed-BCD word of 1..=16 significant digits.
+fn bcd_word(rng: &mut SplitMix64) -> u64 {
+    let digits = 1 + rng.below(16);
+    let mut value = 0u64;
+    for _ in 0..digits {
+        value = (value << 4) | rng.below(10);
+    }
+    value
+}
+
+/// A random command whose operands respect the valid-BCD register-file
+/// invariant (so both sides execute it rather than rejecting it).
+fn random_command(rng: &mut SplitMix64) -> (DecimalFunct, u64, u64, u8, u8, u8) {
+    let field = |rng: &mut SplitMix64| 1 + rng.below(7) as u8;
+    match rng.below(10) {
+        0 => (DecimalFunct::Wr, bcd_word(rng), 0, 0, 0, field(rng)),
+        1 => (DecimalFunct::Rd, 0, 0, 0, field(rng), 0),
+        2 => (DecimalFunct::Accum, rng.next_u64(), 0, 0, 0, 0),
+        3 => (DecimalFunct::DecAdd, bcd_word(rng), bcd_word(rng), 0, 0, 0),
+        4 => (DecimalFunct::DecAdc, bcd_word(rng), bcd_word(rng), 0, 0, 0),
+        5 => (DecimalFunct::ClrAll, 0, 0, 0, 0, 0),
+        6 => (DecimalFunct::DecCnv, rng.next_u64(), 0, 0, 0, 0),
+        7 => (DecimalFunct::DecMul, 0, 0, 0, field(rng), field(rng)),
+        8 => {
+            let funct = if rng.below(2) == 0 {
+                DecimalFunct::DecAccum
+            } else {
+                DecimalFunct::DecMulD
+            };
+            (funct, rng.below(10), 0, 0, 0, 0)
+        }
+        _ => (DecimalFunct::DecAddR, 0, 0, field(rng), field(rng), field(rng)),
+    }
+}
+
+/// Feeds the same seeded random command sequence to the accelerator and the
+/// software model, comparing `rd` values, the full register file, and the
+/// carry after every command.
+#[must_use]
+pub fn fuzz_rocc_commands(seed: u64, commands: u32) -> RoccDiffReport {
+    let mut rng = SplitMix64::new(seed);
+    let mut accelerator = DecimalAccelerator::new();
+    let mut model = SoftwareModel::new();
+    let mut report = RoccDiffReport {
+        commands_run: 0,
+        mismatches: Vec::new(),
+    };
+    for index in 0..commands {
+        let (funct, rs1_value, rs2_value, rd_field, rs1_field, rs2_field) = random_command(&mut rng);
+        let hardware = accelerator.command(funct, rs1_value, rs2_value, rd_field, rs1_field, rs2_field);
+        let software = model.command(funct, rs1_value, rs2_value, rd_field, rs1_field, rs2_field);
+        report.commands_run += 1;
+        let mut mismatch = |detail: String| {
+            report.mismatches.push(RoccMismatch { index, funct, detail });
+        };
+        match (&hardware, &software) {
+            (Ok(response), Ok(rd)) => {
+                if response.rd_value != *rd {
+                    mismatch(format!(
+                        "rd: accelerator {:?}, model {rd:?}",
+                        response.rd_value
+                    ));
+                    continue;
+                }
+                if accelerator.carry() != model.carry() {
+                    mismatch(format!(
+                        "carry: accelerator {}, model {}",
+                        accelerator.carry(),
+                        model.carry()
+                    ));
+                    continue;
+                }
+                for register in 0..16 {
+                    if accelerator.register(register) != model.register(register) {
+                        mismatch(format!(
+                            "reg[{register}]: accelerator {:#x}, model {:#x}",
+                            accelerator.register(register),
+                            model.register(register)
+                        ));
+                        break;
+                    }
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (hardware, software) => {
+                mismatch(format!("accelerator {hardware:?}, model {software:?}"));
+            }
+        }
+    }
+    report
+}

@@ -63,6 +63,108 @@ pub enum Event {
     },
 }
 
+/// A data-memory effect of one retired instruction, with the transferred
+/// value — unlike [`MemAccess`] (which the cache models consume and which
+/// only carries the address), this is the architectural view the
+/// differential checker compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEffect {
+    /// Effective address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// True for stores.
+    pub store: bool,
+    /// The value now held at `addr` (the stored value for stores, the raw
+    /// bytes that were loaded for loads), zero-extended to 64 bits.
+    pub value: u64,
+}
+
+/// The canonical record of one retired instruction: the architectural
+/// effects every simulator must agree on, independent of its timing model.
+///
+/// Records are identical across the functional, Rocket-like and atomic
+/// simulators for the same program, with one documented exception: the
+/// destination value of a `rdcycle`/`rdtime` CSR read reflects each timing
+/// model's own cycle count (lockstep comparators mask it). `rdinstret`
+/// values are identical everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetirementRecord {
+    /// Retirement sequence number (the value of `instret` after this
+    /// instruction, i.e. 1 for the first retirement).
+    pub seq: u64,
+    /// Address of the retired instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Address of the next instruction to execute.
+    pub next_pc: u64,
+    /// Destination-register writeback, if any: `(register, value after)`.
+    pub rd_write: Option<(Reg, u64)>,
+    /// Data-memory effect, if any.
+    pub mem: Option<MemEffect>,
+    /// The accelerator's `rd` value, if the instruction was a RoCC command
+    /// with `xd` set. Timing fields of the response (busy cycles, memory
+    /// traffic) are deliberately excluded — they are not architectural.
+    pub rocc_rd: Option<u64>,
+}
+
+impl RetirementRecord {
+    /// Builds the canonical record for `retired`, reading the post-step
+    /// architectural state out of `cpu`. Must be called after the step that
+    /// produced `retired` and before the next one.
+    #[must_use]
+    pub fn capture(cpu: &Cpu, retired: &Retired) -> RetirementRecord {
+        let mem = retired.mem_access.map(|access| MemEffect {
+            addr: access.addr,
+            size: access.size,
+            store: access.store,
+            value: read_sized(&cpu.memory, access.addr, access.size),
+        });
+        RetirementRecord {
+            seq: cpu.instret,
+            pc: retired.pc,
+            instr: retired.instr,
+            next_pc: retired.next_pc,
+            rd_write: retired.instr.dest().map(|reg| (reg, cpu.reg(reg))),
+            mem,
+            rocc_rd: retired.rocc.and_then(|resp| resp.rd_value),
+        }
+    }
+}
+
+impl std::fmt::Display for RetirementRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{:<6} {:#010x}  {:<32}", self.seq, self.pc, self.instr)?;
+        if let Some((reg, value)) = self.rd_write {
+            write!(f, "  {reg} <- {value:#x}")?;
+        }
+        if let Some(mem) = self.mem {
+            let dir = if mem.store { "<-" } else { "->" };
+            write!(f, "  [{:#x}] {dir} {:#x}", mem.addr, mem.value)?;
+        }
+        if let Some(rocc_rd) = self.rocc_rd {
+            write!(f, "  rocc {rocc_rd:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads `size` bytes at `addr` zero-extended to 64 bits; the access was
+/// just performed by the instruction being recorded, so faults cannot occur.
+fn read_sized(memory: &Memory, addr: u64, size: u64) -> u64 {
+    let value = match size {
+        1 => memory.read_u8(addr).map(u64::from),
+        2 => memory.read_u16(addr).map(u64::from),
+        4 => memory.read_u32(addr).map(u64::from),
+        _ => memory.read_u64(addr),
+    };
+    value.unwrap_or(0)
+}
+
+/// An observer invoked on every retirement (the canonical stream).
+pub type RetireObserver = Box<dyn FnMut(&RetirementRecord)>;
+
 /// A `(marker id, cycle, instret)` triple recorded by the `mark` syscall.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Marker {
@@ -120,6 +222,7 @@ pub struct Cpu {
     pub markers: Vec<Marker>,
     coprocessor: Box<dyn Coprocessor>,
     scratch_csrs: std::collections::BTreeMap<u16, u64>,
+    retire_observer: Option<RetireObserver>,
 }
 
 impl std::fmt::Debug for Cpu {
@@ -152,12 +255,35 @@ impl Cpu {
             markers: Vec::new(),
             coprocessor: Box::new(NoCoprocessor),
             scratch_csrs: std::collections::BTreeMap::new(),
+            retire_observer: None,
         }
     }
 
     /// Attaches an accelerator to the RoCC port.
     pub fn attach_coprocessor(&mut self, coprocessor: Box<dyn Coprocessor>) {
         self.coprocessor = coprocessor;
+    }
+
+    /// Installs an observer called with the canonical [`RetirementRecord`]
+    /// of every retired instruction. The observer is harness state, not
+    /// architectural state: [`Cpu::reset`] keeps it installed.
+    ///
+    /// Timing wrappers (`rocket-sim`, `atomic-sim`) execute through this
+    /// core, so an observer installed here sees their streams too.
+    pub fn set_retire_observer(&mut self, observer: impl FnMut(&RetirementRecord) + 'static) {
+        self.retire_observer = Some(Box::new(observer));
+    }
+
+    /// Removes the retirement observer, if one is installed.
+    pub fn clear_retire_observer(&mut self) {
+        self.retire_observer = None;
+    }
+
+    /// A snapshot of the full integer register file, indexed by register
+    /// number (`x0` is always zero).
+    #[must_use]
+    pub fn registers(&self) -> [u64; 32] {
+        self.regs
     }
 
     /// Reads a register (x0 reads as zero).
@@ -449,13 +575,20 @@ impl Cpu {
         self.pc = next_pc;
         self.instret += 1;
         self.cycle += 1;
-        Ok(Event::Retired(Retired {
+        let retired = Retired {
             pc,
             instr,
             next_pc,
             mem_access,
             rocc,
-        }))
+        };
+        // Take the observer out so it can borrow the post-step state; it
+        // cannot reach the Cpu, so it cannot install a replacement meanwhile.
+        if let Some(mut observer) = self.retire_observer.take() {
+            observer(&RetirementRecord::capture(self, &retired));
+            self.retire_observer = Some(observer);
+        }
+        Ok(Event::Retired(retired))
     }
 
     fn read_csr(&self, number: u16) -> Result<u64, CpuError> {
@@ -739,6 +872,40 @@ mod tests {
             cpu.run(10),
             Err(CpuError::InstructionLimit(10))
         ));
+    }
+
+    #[test]
+    fn retire_observer_sees_canonical_stream() {
+        let mut cpu = Cpu::new();
+        let mut prog = vec![
+            addi(Reg::T0, Reg::ZERO, 7),
+            Instr::Lui { rd: Reg::T1, imm20: 0x2 }, // t1 = 0x2000
+            Instr::Store { op: StoreOp::Sd, rs2: Reg::T0, rs1: Reg::T1, offset: 0 },
+            Instr::Load { op: LoadOp::Ld, rd: Reg::A0, rs1: Reg::T1, offset: 0 },
+        ];
+        prog.extend(exit_seq());
+        load(&mut cpu, 0x1000, &prog);
+        let stream = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = stream.clone();
+        cpu.set_retire_observer(move |record| sink.borrow_mut().push(*record));
+        assert_eq!(cpu.run(100).unwrap(), 7);
+        let stream = stream.borrow();
+        // The exiting ecall retires without a record; everything else streams.
+        assert_eq!(stream.len(), prog.len() - 1);
+        assert_eq!(stream[0].seq, 1);
+        assert_eq!(stream[0].pc, 0x1000);
+        assert_eq!(stream[0].rd_write, Some((Reg::T0, 7)));
+        let store = &stream[2];
+        assert_eq!(
+            store.mem,
+            Some(MemEffect { addr: 0x2000, size: 8, store: true, value: 7 })
+        );
+        let load_rec = &stream[3];
+        assert_eq!(load_rec.rd_write, Some((Reg::A0, 7)));
+        assert_eq!(
+            load_rec.mem,
+            Some(MemEffect { addr: 0x2000, size: 8, store: false, value: 7 })
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod trace;
 use std::fmt;
 
 pub use coproc::{Coprocessor, NoCoprocessor, RoccCommand, RoccResponse};
-pub use cpu::{syscall, Cpu, Event, Marker, MemAccess, Retired};
+pub use cpu::{
+    syscall, Cpu, Event, Marker, MemAccess, MemEffect, Retired, RetireObserver, RetirementRecord,
+};
 pub use memory::Memory;
 
 /// Faults and limits surfaced by the simulators.

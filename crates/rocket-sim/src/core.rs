@@ -139,6 +139,16 @@ impl RocketSim {
         self.cpu.attach_coprocessor(coprocessor);
     }
 
+    /// Installs a retirement observer on the wrapped functional core, so
+    /// this simulator emits the same canonical retirement stream as the
+    /// others (see [`riscv_sim::RetirementRecord`]).
+    pub fn set_retire_observer(
+        &mut self,
+        observer: impl FnMut(&riscv_sim::RetirementRecord) + 'static,
+    ) {
+        self.cpu.set_retire_observer(observer);
+    }
+
     /// The modelled cycle count so far.
     #[must_use]
     pub fn cycle(&self) -> u64 {

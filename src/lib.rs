@@ -32,6 +32,7 @@ pub use bcd;
 pub use codesign;
 pub use decnum;
 pub use dpd;
+pub use lockstep;
 pub use riscv_asm;
 pub use riscv_isa;
 pub use riscv_sim;

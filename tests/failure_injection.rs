@@ -124,6 +124,99 @@ fn assembler_reports_precise_errors() {
     }
 }
 
+/// Loads `source` into a fresh core with the given coprocessor attached,
+/// ready for a lockstep run.
+fn cpu_with(
+    source: &str,
+    coproc: Box<dyn decimalarith::riscv_sim::Coprocessor>,
+) -> decimalarith::riscv_sim::Cpu {
+    let program = assemble(source).expect("test program assembles");
+    let mut cpu = Cpu::new();
+    cpu.attach_coprocessor(coproc);
+    decimalarith::lockstep::load_program(&mut cpu, &program);
+    cpu
+}
+
+#[test]
+fn lockstep_catches_a_wrong_digit_accelerator_at_the_custom0_pc() {
+    // A broken BCD adder cell (low digit off by one) on one side of the
+    // pair: the comparator must pin the divergence to the DEC_ADD
+    // retirement itself, with the destination register in the delta.
+    use decimalarith::lockstep::inject::WrongDigitAccelerator;
+    use decimalarith::lockstep::{run_lockstep, LockstepOptions};
+    use decimalarith::riscv_asm::TEXT_BASE;
+    use decimalarith::rocc::DecimalFunct;
+
+    let source = "
+        start:
+            li t0, 0x15
+            li t1, 0x27
+            custom0 4, t2, t0, t1, 1, 1, 1
+            li a0, 0
+            li a7, 93
+            ecall
+    ";
+    let mut good = cpu_with(source, Box::new(DecimalAccelerator::new()));
+    let mut bad = cpu_with(
+        source,
+        Box::new(WrongDigitAccelerator::new(DecimalFunct::DecAdd)),
+    );
+    let outcome = run_lockstep(&mut good, &mut bad, &LockstepOptions::default());
+    let divergence = outcome.divergence().expect("wrong digit must be caught");
+    assert_eq!(divergence.pc, TEXT_BASE + 2 * 4, "{divergence}");
+    assert!(
+        divergence.reg_delta.iter().any(|d| d.reg == Reg::T2),
+        "{divergence}"
+    );
+    // BCD 15 + 27 = 42; the faulty datapath answers 43.
+    assert!(
+        divergence
+            .reg_delta
+            .iter()
+            .any(|d| d.a_value == 0x42 && d.b_value == 0x43),
+        "{divergence}"
+    );
+}
+
+#[test]
+fn lockstep_catches_a_stuck_interface_fsm_at_the_first_wedged_command() {
+    // An interface FSM that wedges after one command: the second DEC_ADD
+    // replays stale data on the faulty side, and the comparator reports
+    // exactly that retirement.
+    use decimalarith::lockstep::inject::StuckFsmAccelerator;
+    use decimalarith::lockstep::{run_lockstep, LockstepOptions};
+    use decimalarith::riscv_asm::TEXT_BASE;
+
+    let source = "
+        start:
+            li t0, 0x11
+            custom0 4, t2, t0, t0, 1, 1, 1
+            li t0, 0x15
+            li t1, 0x27
+            custom0 4, t3, t0, t1, 1, 1, 1
+            li a0, 0
+            li a7, 93
+            ecall
+    ";
+    let mut good = cpu_with(source, Box::new(DecimalAccelerator::new()));
+    let mut bad = cpu_with(source, Box::new(StuckFsmAccelerator::new(1)));
+    let outcome = run_lockstep(&mut good, &mut bad, &LockstepOptions::default());
+    let divergence = outcome.divergence().expect("stuck FSM must be caught");
+    assert_eq!(divergence.pc, TEXT_BASE + 4 * 4, "{divergence}");
+    assert!(
+        divergence.reg_delta.iter().any(|d| d.reg == Reg::T3),
+        "{divergence}"
+    );
+    // Good side: BCD 15 + 27 = 42. Stuck side: replays the first sum, 22.
+    assert!(
+        divergence
+            .reg_delta
+            .iter()
+            .any(|d| d.a_value == 0x42 && d.b_value == 0x22),
+        "{divergence}"
+    );
+}
+
 #[test]
 fn ld_through_rocc_memory_interface_faults_on_unmapped() {
     // LD (funct7=2) reads memory at the address in rs1.
