@@ -12,11 +12,22 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== lint: clippy (warnings are errors) =="
+cargo clippy -q --all-targets -- -D warnings
+
 echo "== differential verification (bounded) =="
 # Conformance on a CI-sized database slice, a 200-program fuzz run, and
 # the RoCC command differential — all on the paper's seed. The full
 # 8,000-sample configuration is the same binary with --samples 8000.
 cargo run --release -p decimal-bench --bin lockstep -- all \
     --seed 2019 --samples 200 --programs 200 --commands 10000
+
+echo "== fault-injection campaign (bounded, fixed seed) =="
+# 500 seeded single-bit faults against the plain and the fault-tolerant
+# Method-1 guests. Fails on any replay outside the four outcome classes,
+# and on any silent data corruption slipping past the fault-tolerant
+# kernel's detection net.
+cargo run --release -p decimal-bench --bin lockstep -- faults \
+    --seed 2019 --faults 500 --fault-samples 6
 
 echo "ci: all checks passed"

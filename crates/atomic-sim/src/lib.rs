@@ -50,6 +50,9 @@ pub struct AtomicConfig {
     pub mul_cycles: u64,
     /// Extra cycles charged per divide/remainder.
     pub div_cycles: u64,
+    /// RoCC busy-watchdog bound forwarded to the functional core (a hung
+    /// accelerator command reports [`CpuError::RoccTimeout`]).
+    pub rocc_watchdog: u32,
 }
 
 impl Default for AtomicConfig {
@@ -59,6 +62,7 @@ impl Default for AtomicConfig {
             mem_access_cycles: 1,
             mul_cycles: 0,
             div_cycles: 0,
+            rocc_watchdog: riscv_sim::DEFAULT_ROCC_WATCHDOG,
         }
     }
 }
@@ -117,8 +121,10 @@ impl AtomicSim {
     /// Builds a simulator with the given timing parameters.
     #[must_use]
     pub fn new(config: AtomicConfig) -> Self {
+        let mut cpu = riscv_sim::Cpu::new();
+        cpu.rocc_watchdog = config.rocc_watchdog;
         AtomicSim {
-            cpu: riscv_sim::Cpu::new(),
+            cpu,
             config,
             stats: AtomicStats::default(),
         }
@@ -154,6 +160,10 @@ impl AtomicSim {
         self.cpu.cycle = self.stats.cycles;
         let event = self.cpu.step()?;
         self.stats.cycles += 1;
+        if let Event::Trapped { .. } = event {
+            // Trap delivery consumes the tick but retires nothing.
+            return Ok(event);
+        }
         self.stats.instret += 1;
         if let Event::Retired(retired) = &event {
             if retired.mem_access.is_some() {

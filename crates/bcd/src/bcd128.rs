@@ -151,6 +151,8 @@ impl Bcd128 {
     ///
     /// Implemented as two chained 64-bit BCD adds, exactly as the guest
     /// kernels chain `DEC_ADD`/`DEC_ADC` over the RoCC interface.
+    // Not `std::ops`: decimal add/sub also return the carry/borrow.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, other: Bcd128) -> (Bcd128, bool) {
         let (ah, al) = self.to_halves();
@@ -161,6 +163,8 @@ impl Bcd128 {
     }
 
     /// Decimal subtraction. Returns `(difference, borrow)`.
+    // Not `std::ops`: decimal add/sub also return the carry/borrow.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn sub(self, other: Bcd128) -> (Bcd128, bool) {
         let (ah, al) = self.to_halves();

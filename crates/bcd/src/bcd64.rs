@@ -168,6 +168,8 @@ impl Bcd64 {
     }
 
     /// Decimal addition. Returns `(sum, carry_out)`.
+    // Not `std::ops`: decimal add/sub also return the carry/borrow.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, other: Bcd64) -> (Bcd64, bool) {
         let (s, c) = raw_add64(self.0, other.0, false);
@@ -184,6 +186,8 @@ impl Bcd64 {
     /// Decimal subtraction via ten's complement. Returns `(difference, borrow)`.
     ///
     /// When `borrow` is true the result wrapped modulo 10^16.
+    // Not `std::ops`: decimal add/sub also return the carry/borrow.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn sub(self, other: Bcd64) -> (Bcd64, bool) {
         let (s, carry) = raw_add64(self.0, nines_complement64(other.0), true);

@@ -1,24 +1,30 @@
 //! Differential verification driver: lockstep-checks the three simulators
-//! against each other, the kernels against the verification database, and
-//! the accelerator against its software model.
+//! against each other, the kernels against the verification database, the
+//! accelerator against its software model, and the accelerator protocol
+//! against a seeded fault-injection campaign.
 //!
 //! ```text
-//! lockstep [conformance|fuzz|rocc|all] [--samples N] [--seed S]
+//! lockstep [conformance|fuzz|rocc|faults|all] [--samples N] [--seed S]
 //!          [--programs N] [--body N] [--commands N] [--no-rocc]
+//!          [--faults N] [--fault-samples N]
 //! ```
 //!
 //! Defaults: `all`, 200 database samples (the paper's 8,000-sample
 //! configuration scaled down for CI — pass `--samples 8000` for the full
-//! database), seed 2019, 200 fuzz programs.
+//! database), seed 2019, 200 fuzz programs, 500 injected faults over a
+//! 6-sample guest.
 //!
 //! Exits nonzero on any divergence, printing the full report (pc,
 //! instruction, register/memory delta, retirement context) and the shrunk
-//! reproducing program for fuzz failures.
+//! reproducing program for fuzz failures. A lockstep run that only ends
+//! because the step budget ran out is reported as a distinct warning (a
+//! bounded hang is not a pass) and counted as a failure.
 
 use codesign::kernels::KernelKind;
+use lockstep::campaign::{run_campaign, CampaignConfig};
 use lockstep::fuzz::{run_fuzz, FuzzConfig};
 use lockstep::rocc_diff::fuzz_rocc_commands;
-use lockstep::{check_kernel_all_pairs, Pair};
+use lockstep::{guest_budget, run_guest_pair, LockstepOutcome, Pair, Termination, DEFAULT_CONTEXT};
 use testgen::TestConfig;
 
 struct Options {
@@ -29,6 +35,8 @@ struct Options {
     body_items: usize,
     commands: u32,
     with_rocc: bool,
+    faults: usize,
+    fault_samples: usize,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +48,8 @@ fn parse_args() -> Options {
         body_items: 40,
         commands: 10_000,
         with_rocc: true,
+        faults: 500,
+        fault_samples: 6,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,8 +64,10 @@ fn parse_args() -> Options {
             "--programs" => options.programs = number("--programs") as u32,
             "--body" => options.body_items = number("--body") as usize,
             "--commands" => options.commands = number("--commands") as u32,
+            "--faults" => options.faults = number("--faults") as usize,
+            "--fault-samples" => options.fault_samples = number("--fault-samples") as usize,
             "--no-rocc" => options.with_rocc = false,
-            "conformance" | "fuzz" | "rocc" | "all" => options.what = arg,
+            "conformance" | "fuzz" | "rocc" | "faults" | "all" => options.what = arg,
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -65,14 +77,16 @@ fn parse_args() -> Options {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: lockstep [conformance|fuzz|rocc|all] [--samples N] [--seed S] \
-         [--programs N] [--body N] [--commands N] [--no-rocc]"
+        "usage: lockstep [conformance|fuzz|rocc|faults|all] [--samples N] [--seed S] \
+         [--programs N] [--body N] [--commands N] [--no-rocc] [--faults N] [--fault-samples N]"
     );
     std::process::exit(2);
 }
 
 /// Lockstep-checks every kernel over the verification database on every
-/// simulator pair. Returns the number of divergences.
+/// simulator pair. Returns the number of divergences (budget exhaustion
+/// counts: a guest that never exits within budget is a bounded hang, not
+/// an agreement).
 fn conformance(options: &Options) -> u32 {
     println!(
         "— conformance: {} samples, seed {}, {} kernels × {} pairs",
@@ -88,18 +102,94 @@ fn conformance(options: &Options) -> u32 {
     });
     let mut divergences = 0;
     for kind in KernelKind::ALL {
-        match check_kernel_all_pairs(kind, &vectors) {
-            None => println!("  {kind:<16} all pairs agree"),
-            Some((pair, outcome)) => {
-                divergences += 1;
-                println!("  {kind:<16} DIVERGED on {pair}:");
-                if let Some(divergence) = outcome.divergence() {
-                    println!("{divergence}");
+        let guest = codesign::framework::build_guest(kind, &vectors, 1)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let mut verdict = "all pairs agree";
+        for pair in Pair::ALL {
+            let outcome = run_guest_pair(&guest, pair, DEFAULT_CONTEXT);
+            match outcome {
+                LockstepOutcome::Agreement {
+                    termination: Termination::BudgetExhausted,
+                    ..
+                } => {
+                    divergences += 1;
+                    println!(
+                        "  {kind:<16} WARNING on {pair}: step budget ({}) exhausted before \
+                         exit — a bounded hang, not a pass",
+                        guest_budget(&guest)
+                    );
+                    verdict = "";
                 }
+                outcome if !outcome.is_agreement() => {
+                    divergences += 1;
+                    println!("  {kind:<16} DIVERGED on {pair}:");
+                    if let Some(divergence) = outcome.divergence() {
+                        println!("{divergence}");
+                    }
+                    verdict = "";
+                }
+                _ => {}
             }
+        }
+        if !verdict.is_empty() {
+            println!("  {kind:<16} {verdict}");
         }
     }
     divergences
+}
+
+/// Runs the seeded fault-injection campaign on the plain and the
+/// fault-tolerant Method-1 guests. Returns the failure count: campaign
+/// errors (replays outside the four classes) always fail; silent data
+/// corruption fails only for the fault-tolerant kernel, whose whole job
+/// is to eliminate that class.
+fn faults(options: &Options) -> u32 {
+    println!(
+        "— faults: {} single-bit faults over a {}-sample guest, seed {}",
+        options.faults, options.fault_samples, options.seed
+    );
+    let vectors = testgen::generate(&TestConfig {
+        count: options.fault_samples,
+        seed: options.seed,
+        ..TestConfig::default()
+    });
+    let mut failures = 0;
+    for kind in [KernelKind::Method1, KernelKind::Method1Ft] {
+        let guest = codesign::framework::build_guest(kind, &vectors, 1)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let config = CampaignConfig {
+            seed: options.seed,
+            faults: options.faults,
+            instruction_budget: guest_budget(&guest),
+            result_words: vectors.len(),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&guest.program, &config);
+        let tally = report.tally();
+        println!(
+            "  {:<28} {} RoCC commands; {} masked, {} detected, {} caught-by-watchdog, {} \
+             silent-data-corruption",
+            kind.name(),
+            report.total_commands,
+            tally.masked,
+            tally.detected,
+            tally.caught_by_watchdog,
+            tally.silent_data_corruption,
+        );
+        for error in &report.errors {
+            failures += 1;
+            println!("  {:<28} ERROR: {error}", kind.name());
+        }
+        if kind == KernelKind::Method1Ft && tally.silent_data_corruption > 0 {
+            failures += tally.silent_data_corruption as u32;
+            println!(
+                "  {:<28} FAILED: {} silent corruption(s) slipped past the detection net",
+                kind.name(),
+                tally.silent_data_corruption
+            );
+        }
+    }
+    failures
 }
 
 /// Runs the differential instruction fuzzer. Returns the failure count.
@@ -160,6 +250,9 @@ fn main() {
     }
     if matches!(options.what.as_str(), "rocc" | "all") {
         failures += rocc(&options);
+    }
+    if matches!(options.what.as_str(), "faults" | "all") {
+        failures += faults(&options);
     }
     if failures > 0 {
         eprintln!("{failures} divergence(s) found");

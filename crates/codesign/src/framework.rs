@@ -112,6 +112,46 @@ fn instruction_budget(guest: &GuestProgram) -> u64 {
     200_000 + guest.layout.count as u64 * u64::from(guest.layout.repetitions.max(1)) * 40_000
 }
 
+/// A guest run that did not produce results: a fault, a nonzero exit, or a
+/// missing measurement marker. The panicking `run_*` entry points wrap
+/// these; the `try_run_*` variants surface them to callers that inject
+/// faults on purpose and expect to handle failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The guest faulted; the program counter locates the instruction.
+    Fault {
+        /// Faulting program counter.
+        pc: u64,
+        /// The underlying CPU fault.
+        error: riscv_sim::CpuError,
+    },
+    /// The guest ran to completion but exited nonzero.
+    ExitCode(i64),
+    /// A required measurement marker never fired.
+    MissingMarker(&'static str),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Fault { pc, error } => write!(f, "guest faulted at pc {pc:#x}: {error}"),
+            RunError::ExitCode(code) => write!(f, "guest exited with {code}"),
+            RunError::MissingMarker(which) => write!(f, "missing {which} marker"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Reads the fault-tolerant kernel's degradation counter — how many
+/// multiplications fell back to the software datapath — if the guest has
+/// one (`None` for kernels without fault tolerance).
+#[must_use]
+pub fn read_degradation(memory: &riscv_sim::Memory, guest: &GuestProgram) -> Option<u64> {
+    let base = guest.program.symbol("ft_degraded")?;
+    memory.read_u64(base).ok()
+}
+
 /// Outcome of a functional (Spike-role) run.
 #[derive(Debug, Clone)]
 pub struct FunctionalRun {
@@ -119,6 +159,33 @@ pub struct FunctionalRun {
     pub results: Vec<u64>,
     /// Instructions retired.
     pub instret: u64,
+    /// Fault-tolerant kernels only: kernel invocations that degraded to
+    /// the software fallback.
+    pub degraded: Option<u64>,
+}
+
+/// Runs the guest on the functional simulator (with the accelerator
+/// attached when the kernel needs it), surfacing failures as values.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the guest faults or exits nonzero.
+pub fn try_run_functional(guest: &GuestProgram) -> Result<FunctionalRun, RunError> {
+    let mut cpu = riscv_sim::Cpu::new();
+    cpu.attach_coprocessor(Box::new(DecimalAccelerator::new()));
+    load_into_cpu(&mut cpu, guest);
+    let code = cpu.run(instruction_budget(guest)).map_err(|error| RunError::Fault {
+        pc: cpu.pc(),
+        error,
+    })?;
+    if code != 0 {
+        return Err(RunError::ExitCode(code));
+    }
+    Ok(FunctionalRun {
+        results: read_results(&cpu.memory, guest),
+        instret: cpu.instret,
+        degraded: read_degradation(&cpu.memory, guest),
+    })
 }
 
 /// Runs the guest on the functional simulator (with the accelerator
@@ -130,17 +197,7 @@ pub struct FunctionalRun {
 /// construction; a fault is a framework bug worth failing loudly on.
 #[must_use]
 pub fn run_functional(guest: &GuestProgram) -> FunctionalRun {
-    let mut cpu = riscv_sim::Cpu::new();
-    cpu.attach_coprocessor(Box::new(DecimalAccelerator::new()));
-    load_into_cpu(&mut cpu, guest);
-    let code = cpu
-        .run(instruction_budget(guest))
-        .unwrap_or_else(|e| panic!("functional run faulted at pc {:#x}: {e}", cpu.pc()));
-    assert_eq!(code, 0, "guest exited with {code}");
-    FunctionalRun {
-        results: read_results(&cpu.memory, guest),
-        instret: cpu.instret,
-    }
+    try_run_functional(guest).unwrap_or_else(|e| panic!("functional run failed: {e}"))
 }
 
 /// Outcome of a cycle-accurate run: Table IV's quantities.
@@ -156,6 +213,55 @@ pub struct CycleEvaluation {
     pub avg_sw_cycles: f64,
     /// Whole-run statistics.
     pub stats: RunStats,
+    /// Fault-tolerant kernels only: kernel invocations that degraded to
+    /// the software fallback (the cycle averages include that cost).
+    pub degraded: Option<u64>,
+}
+
+/// Runs the guest cycle-accurately on the Rocket-like core, surfacing
+/// failures as values.
+///
+/// # Errors
+///
+/// Returns [`RunError`] on guest faults, nonzero exit, or a missing
+/// measurement region.
+pub fn try_run_rocket(
+    guest: &GuestProgram,
+    timing: TimingConfig,
+) -> Result<CycleEvaluation, RunError> {
+    let mut sim = RocketSim::new(timing);
+    sim.attach_coprocessor(Box::new(DecimalAccelerator::new()));
+    load_into_cpu(&mut sim.cpu, guest);
+    let report = sim.run(instruction_budget(guest)).map_err(|error| RunError::Fault {
+        pc: sim.cpu.pc(),
+        error,
+    })?;
+    if report.exit_code != 0 {
+        return Err(RunError::ExitCode(report.exit_code));
+    }
+    let start = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_START)
+        .ok_or(RunError::MissingMarker("loop start"))?;
+    let end = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_END)
+        .ok_or(RunError::MissingMarker("loop end"))?;
+    let calls = (guest.layout.count as f64) * f64::from(guest.layout.repetitions.max(1));
+    let region = (end.cycle - start.cycle) as f64;
+    // The HW bucket only accumulates inside kernel executions, so the
+    // whole-run total is the measurement region's total.
+    let hw = report.stats.hw_cycles as f64;
+    Ok(CycleEvaluation {
+        results: read_results(&sim.cpu.memory, guest),
+        avg_total_cycles: region / calls,
+        avg_hw_cycles: hw / calls,
+        avg_sw_cycles: (region - hw) / calls,
+        stats: report.stats,
+        degraded: read_degradation(&sim.cpu.memory, guest),
+    })
 }
 
 /// Runs the guest cycle-accurately on the Rocket-like core.
@@ -165,35 +271,7 @@ pub struct CycleEvaluation {
 /// Panics on guest faults or a missing measurement region.
 #[must_use]
 pub fn run_rocket(guest: &GuestProgram, timing: TimingConfig) -> CycleEvaluation {
-    let mut sim = RocketSim::new(timing);
-    sim.attach_coprocessor(Box::new(DecimalAccelerator::new()));
-    load_into_cpu(&mut sim.cpu, guest);
-    let report = sim
-        .run(instruction_budget(guest))
-        .unwrap_or_else(|e| panic!("rocket run faulted: {e}"));
-    assert_eq!(report.exit_code, 0);
-    let start = report
-        .markers
-        .iter()
-        .find(|m| m.id == testgen::MARK_LOOP_START)
-        .expect("start marker");
-    let end = report
-        .markers
-        .iter()
-        .find(|m| m.id == testgen::MARK_LOOP_END)
-        .expect("end marker");
-    let calls = (guest.layout.count as f64) * f64::from(guest.layout.repetitions.max(1));
-    let region = (end.cycle - start.cycle) as f64;
-    // The HW bucket only accumulates inside kernel executions, so the
-    // whole-run total is the measurement region's total.
-    let hw = report.stats.hw_cycles as f64;
-    CycleEvaluation {
-        results: read_results(&sim.cpu.memory, guest),
-        avg_total_cycles: region / calls,
-        avg_hw_cycles: hw / calls,
-        avg_sw_cycles: (region - hw) / calls,
-        stats: report.stats,
-    }
+    try_run_rocket(guest, timing).unwrap_or_else(|e| panic!("rocket run failed: {e}"))
 }
 
 /// Per-input-class cycle averages from a marked run.
@@ -280,6 +358,44 @@ pub struct AtomicEvaluation {
 }
 
 /// Runs the guest on the atomic (Gem5 `AtomicSimpleCPU` SE-mode analogue)
+/// simulator, surfacing failures as values.
+///
+/// # Errors
+///
+/// Returns [`RunError`] on guest faults, nonzero exit, or a missing
+/// measurement region.
+pub fn try_run_atomic(
+    guest: &GuestProgram,
+    config: AtomicConfig,
+) -> Result<AtomicEvaluation, RunError> {
+    let mut sim = AtomicSim::new(config);
+    sim.attach_coprocessor(Box::new(DecimalAccelerator::new()));
+    load_into_cpu(&mut sim.cpu, guest);
+    let report = sim.run(instruction_budget(guest)).map_err(|error| RunError::Fault {
+        pc: sim.cpu.pc(),
+        error,
+    })?;
+    if report.exit_code != 0 {
+        return Err(RunError::ExitCode(report.exit_code));
+    }
+    let start = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_START)
+        .ok_or(RunError::MissingMarker("loop start"))?;
+    let end = report
+        .markers
+        .iter()
+        .find(|m| m.id == testgen::MARK_LOOP_END)
+        .ok_or(RunError::MissingMarker("loop end"))?;
+    Ok(AtomicEvaluation {
+        results: read_results(&sim.cpu.memory, guest),
+        simulated_seconds: (end.cycle - start.cycle) as f64 / config.clock_hz,
+        instret: report.stats.instret,
+    })
+}
+
+/// Runs the guest on the atomic (Gem5 `AtomicSimpleCPU` SE-mode analogue)
 /// simulator.
 ///
 /// # Panics
@@ -287,28 +403,7 @@ pub struct AtomicEvaluation {
 /// Panics on guest faults.
 #[must_use]
 pub fn run_atomic(guest: &GuestProgram, config: AtomicConfig) -> AtomicEvaluation {
-    let mut sim = AtomicSim::new(config);
-    sim.attach_coprocessor(Box::new(DecimalAccelerator::new()));
-    load_into_cpu(&mut sim.cpu, guest);
-    let report = sim
-        .run(instruction_budget(guest))
-        .unwrap_or_else(|e| panic!("atomic run faulted: {e}"));
-    assert_eq!(report.exit_code, 0);
-    let start = report
-        .markers
-        .iter()
-        .find(|m| m.id == testgen::MARK_LOOP_START)
-        .expect("start marker");
-    let end = report
-        .markers
-        .iter()
-        .find(|m| m.id == testgen::MARK_LOOP_END)
-        .expect("end marker");
-    AtomicEvaluation {
-        results: read_results(&sim.cpu.memory, guest),
-        simulated_seconds: (end.cycle - start.cycle) as f64 / config.clock_hz,
-        instret: report.stats.instret,
-    }
+    try_run_atomic(guest, config).unwrap_or_else(|e| panic!("atomic run failed: {e}"))
 }
 
 /// Compares per-sample results against the `decnum` oracle; returns the

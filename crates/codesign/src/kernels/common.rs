@@ -16,22 +16,52 @@
 //! Registers `a4`/`a5` are reserved for the dummy-function marshalling and
 //! never used by these routines.
 
+/// How a kernel realises one BCD add step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AddStyle {
+    /// Real `DEC_ADD`/`DEC_ADC` RoCC custom instructions.
+    Hw,
+    /// Calls to the prior art's dummy functions (estimation runs).
+    Dummy,
+    /// Calls to the digit-serial software routines — the fault-tolerant
+    /// kernel's fallback datapath, correct without any accelerator.
+    Soft,
+}
+
+impl AddStyle {
+    pub(crate) fn from_dummy(dummy: bool) -> Self {
+        if dummy {
+            AddStyle::Dummy
+        } else {
+            AddStyle::Hw
+        }
+    }
+}
+
 /// Emits a `rd = BCD_ADD(rs1, rs2)` step: a real `DEC_ADD` custom
-/// instruction, or a call to the dummy function.
-pub(crate) fn dec_add(rd: &str, rs1: &str, rs2: &str, dummy: bool) -> String {
-    if dummy {
-        format!("    mv a4, {rs1}\n    mv a5, {rs2}\n    call dummy_dec_add\n    mv {rd}, a4\n")
-    } else {
-        format!("    custom0 4, {rd}, {rs1}, {rs2}, 1, 1, 1\n")
+/// instruction, or a call to the dummy/software function.
+pub(crate) fn dec_add(rd: &str, rs1: &str, rs2: &str, style: AddStyle) -> String {
+    match style {
+        AddStyle::Hw => format!("    custom0 4, {rd}, {rs1}, {rs2}, 1, 1, 1\n"),
+        AddStyle::Dummy => {
+            format!("    mv a4, {rs1}\n    mv a5, {rs2}\n    call dummy_dec_add\n    mv {rd}, a4\n")
+        }
+        AddStyle::Soft => {
+            format!("    mv a4, {rs1}\n    mv a5, {rs2}\n    call soft_dec_add\n    mv {rd}, a4\n")
+        }
     }
 }
 
 /// Emits a `rd = BCD_ADC(rs1, rs2)` step (add with the latched carry).
-pub(crate) fn dec_adc(rd: &str, rs1: &str, rs2: &str, dummy: bool) -> String {
-    if dummy {
-        format!("    mv a4, {rs1}\n    mv a5, {rs2}\n    call dummy_dec_adc\n    mv {rd}, a4\n")
-    } else {
-        format!("    custom0 9, {rd}, {rs1}, {rs2}, 1, 1, 1\n")
+pub(crate) fn dec_adc(rd: &str, rs1: &str, rs2: &str, style: AddStyle) -> String {
+    match style {
+        AddStyle::Hw => format!("    custom0 9, {rd}, {rs1}, {rs2}, 1, 1, 1\n"),
+        AddStyle::Dummy => {
+            format!("    mv a4, {rs1}\n    mv a5, {rs2}\n    call dummy_dec_adc\n    mv {rd}, a4\n")
+        }
+        AddStyle::Soft => {
+            format!("    mv a4, {rs1}\n    mv a5, {rs2}\n    call soft_dec_adc\n    mv {rd}, a4\n")
+        }
     }
 }
 
@@ -44,13 +74,55 @@ dummy_dec_adc:
     ret
 ";
 
+/// Digit-serial software BCD add/adc — the fault-tolerant kernel's fallback
+/// datapath. Same marshalling as the dummy functions (operands in `a4`/`a5`,
+/// sum back in `a4`); the carry latch lives in the `soft_carry` scratch
+/// dword so an add/adc pair chains exactly like the hardware latch.
+/// Clobbers t0–t4 only: `round_pack` relies on `t5` surviving the rounding
+/// increment.
+pub(crate) const SOFT_BCD_ADD: &str = "
+soft_dec_add:
+    la   t0, soft_carry
+    sd   zero, 0(t0)
+soft_dec_adc:
+    la   t0, soft_carry
+    ld   t1, 0(t0)             # carry in
+    li   t2, 0                 # packed result
+    li   t3, 16                # digit counter
+sda_loop:
+    srli t2, t2, 4
+    andi t4, a4, 15
+    add  t1, t1, t4
+    andi t4, a5, 15
+    add  t1, t1, t4            # carry + digit + digit  (0..19)
+    li   t4, 10
+    bltu t1, t4, sda_store
+    addi t1, t1, -10
+    slli t4, t1, 60
+    or   t2, t2, t4
+    li   t1, 1
+    j    sda_next
+sda_store:
+    slli t4, t1, 60
+    or   t2, t2, t4
+    li   t1, 0
+sda_next:
+    srli a4, a4, 4
+    srli a5, a5, 4
+    addi t3, t3, -1
+    bnez t3, sda_loop
+    sd   t1, 0(t0)             # carry out
+    mv   a4, t2
+    ret
+";
+
 /// BCD-flavoured shared subroutines (Method-1..4).
-pub(crate) fn subroutines_bcd(dummy: bool) -> String {
+pub(crate) fn subroutines_bcd(style: AddStyle) -> String {
     let mut out = String::new();
     out += DECODE64_BCD;
     out += ENCODE64_BCD;
     out += IS_ZERO64;
-    out += &round_pack_bcd(dummy);
+    out += &round_pack_bcd(style);
     out
 }
 
@@ -212,9 +284,9 @@ iz_nonzero:
 /// The BCD rounding/packing epilogue. One rounding of the exact product at
 /// the precision (or at Etiny for subnormal results), overflow to infinity
 /// (round-half-even), exponent clamping, then DPD encode.
-fn round_pack_bcd(dummy: bool) -> String {
-    let inc_add = dec_add("a0", "a0", "t0", dummy);
-    let carry_read = dec_adc("t0", "zero", "zero", dummy);
+fn round_pack_bcd(style: AddStyle) -> String {
+    let inc_add = dec_add("a0", "a0", "t0", style);
+    let carry_read = dec_adc("t0", "zero", "zero", style);
     format!(
         "
 round_pack:

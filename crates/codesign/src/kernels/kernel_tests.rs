@@ -49,6 +49,24 @@ fn method1_kernel_matches_oracle() {
 }
 
 #[test]
+fn method1_ft_kernel_matches_oracle() {
+    check_kernel(KernelKind::Method1Ft, 120, 77);
+}
+
+#[test]
+fn method1_ft_never_degrades_on_a_healthy_accelerator() {
+    let vectors = vectors(60, 88);
+    let guest = build_guest(KernelKind::Method1Ft, &vectors, 1).unwrap();
+    let run = run_functional(&guest);
+    assert!(verify_results(&run.results, &vectors).is_empty());
+    assert_eq!(
+        run.degraded,
+        Some(0),
+        "detection net must not false-positive on a healthy accelerator"
+    );
+}
+
+#[test]
 fn method2_kernel_matches_oracle() {
     check_kernel(KernelKind::Method2, 90, 33);
 }
@@ -130,6 +148,7 @@ fn regression_full_width_discard_shift() {
     }];
     for kind in [
         KernelKind::Method1,
+        KernelKind::Method1Ft,
         KernelKind::Method2,
         KernelKind::Method3,
         KernelKind::Method4,

@@ -10,7 +10,7 @@
 //! `s6`/`s7` — X/Y coefficients (BCD); `s8` — biased product exponent;
 //! `s9`/`s11` — product hi/lo; `s10` — result sign.
 
-use super::common::{dec_add, dec_adc};
+use super::common::{dec_add, dec_adc, AddStyle};
 
 /// The common specials-and-decode prologue shared by all BCD kernels:
 /// NaN/infinity handling on raw bits, then decode of both operands, leaving
@@ -128,6 +128,7 @@ k_return:
 /// Emits the Method-1 kernel (real RoCC instructions, or dummy calls).
 #[must_use]
 pub(crate) fn kernel(dummy: bool) -> String {
+    let style = AddStyle::from_dummy(dummy);
     let mut core = String::new();
     // ---- multiplicand multiples MM[0..9] (Fig. 1 left) ----
     core += "
@@ -142,8 +143,8 @@ m1_mm_loop:
     ld   a0, 0(t6)
     ld   a1, 8(t6)
 ";
-    core += &dec_add("a0", "a0", "s6", dummy);
-    core += &dec_adc("a1", "a1", "zero", dummy);
+    core += &dec_add("a0", "a0", "s6", style);
+    core += &dec_adc("a1", "a1", "zero", style);
     core += "
     sd   a0, 16(t6)
     sd   a1, 24(t6)
@@ -168,8 +169,8 @@ m1_acc_loop:
     ld   a0, 0(t0)
     ld   a1, 8(t0)
 ";
-    core += &dec_add("s11", "s11", "a0", dummy);
-    core += &dec_adc("s9", "s9", "a1", dummy);
+    core += &dec_add("s11", "s11", "a0", style);
+    core += &dec_adc("s9", "s9", "a1", style);
     core += "
     addi s5, s5, -4
     bgez s5, m1_acc_loop

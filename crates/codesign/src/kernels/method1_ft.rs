@@ -1,0 +1,190 @@
+//! The fault-tolerant Method-1 kernel: Method-1's hardware datapath wrapped
+//! in a detection net, with graceful degradation to a pure-software
+//! recompute when the accelerator misbehaves.
+//!
+//! Detection net (cheap, covers every fault class the accelerator can
+//! raise in a Method-1 run — only the carry latch is exercised, not the
+//! register file):
+//!
+//! 1. **In-band status.** `STAT` (funct7=12) after the hardware phase
+//!    reads back any latched fault — invalid BCD, protocol violations, or
+//!    a watchdog abort — without an out-of-band channel.
+//! 2. **Watchdog trap.** `mtvec` is armed at `k_trap`; a wedged interface
+//!    FSM is aborted by the core's busy-watchdog and delivered as an
+//!    M-mode trap. The handler latches the `hw_fault` flag, advances
+//!    `mepc` past the aborted command, and `mret`s — the run never hangs.
+//! 3. **Mod-9 residues.** A decimal number is congruent to its digit sum
+//!    mod 9, so a single flipped carry (a ±10^k delta with k ≤ 16 per use)
+//!    moves the residue and is caught by
+//!    `sum(X)·sum(Y) ≡ sum(product) (mod 9)`. A carry flip *during* the
+//!    multiples-table build propagates into every later multiple, which
+//!    can cancel in the final residue — so the table itself is checked
+//!    first: `MM[9] = 9·X ≡ 0 (mod 9)` always.
+//!
+//! On any detection the kernel bumps `ft_degraded`, clears the accelerator
+//! with `CLR_ALL`, and recomputes the whole product with the digit-serial
+//! software adder. The rounding epilogue always uses the software adder,
+//! so a fault latched after the checks cannot corrupt the rounding
+//! increment. Result bits are therefore correct under every single fault,
+//! at the cost the degradation counter makes visible.
+
+use super::common::{dec_add, dec_adc, AddStyle};
+use super::method1::{EPILOGUE, PROLOGUE};
+
+/// One MM-table build loop (16 RoCC or software add/adc pairs).
+fn mm_build(label: &str, style: AddStyle) -> String {
+    let add = dec_add("a0", "a0", "s6", style);
+    let adc = dec_adc("a1", "a1", "zero", style);
+    format!(
+        "
+    la   s4, mm_table
+    sd   zero, 0(s4)
+    sd   zero, 8(s4)
+    sd   s6, 16(s4)
+    sd   zero, 24(s4)
+    li   t5, 8
+    addi t6, s4, 16
+{label}:
+    ld   a0, 0(t6)
+    ld   a1, 8(t6)
+{add}{adc}    sd   a0, 16(t6)
+    sd   a1, 24(t6)
+    addi t6, t6, 16
+    addi t5, t5, -1
+    bnez t5, {label}
+"
+    )
+}
+
+/// One Horner accumulation loop over the digits of Y.
+fn accumulate(label: &str, style: AddStyle) -> String {
+    let add = dec_add("s11", "s11", "a0", style);
+    let adc = dec_adc("s9", "s9", "a1", style);
+    format!(
+        "
+    li   s9, 0
+    li   s11, 0
+    li   s5, 60
+{label}:
+    srli t0, s11, 60
+    slli s9, s9, 4
+    or   s9, s9, t0
+    slli s11, s11, 4
+    srl  t0, s7, s5
+    andi t0, t0, 15
+    slli t0, t0, 4
+    add  t0, t0, s4
+    ld   a0, 0(t0)
+    ld   a1, 8(t0)
+{add}{adc}    addi s5, s5, -4
+    bgez s5, {label}
+"
+    )
+}
+
+/// Emits the fault-tolerant Method-1 kernel.
+#[must_use]
+pub(crate) fn kernel_ft() -> String {
+    let mut core = String::new();
+    core += "
+    # Arm the trap vector: a wedged RoCC command is aborted by the core's
+    # busy-watchdog and delivered here as an M-mode trap, not a hang.
+    la   t0, k_trap
+    csrrw zero, 0x305, t0
+    la   t0, hw_fault
+    sd   zero, 0(t0)
+    custom0 5, zero, zero, zero, 0, 0, 0   # CLR_ALL: start from known state
+";
+    // ---- hardware phase: MM table, integrity check, accumulate ----
+    core += &mm_build("m1f_mm_loop", AddStyle::Hw);
+    core += "
+    # Wedge during the table build? The trap handler latched hw_fault.
+    la   t0, hw_fault
+    ld   t0, 0(t0)
+    bnez t0, k_degrade
+    # Table integrity: MM[9] = 9*X, so its digit sum is 0 mod 9. A carry
+    # flip during the build corrupts every later multiple; this catches it
+    # before the corruption fans out through the accumulation.
+    ld   a0, 144(s4)
+    call bcd_mod9
+    mv   t3, a0
+    ld   a0, 152(s4)
+    call bcd_mod9
+    add  t3, t3, a0
+    li   t0, 9
+    remu t3, t3, t0
+    bnez t3, k_degrade
+";
+    core += &accumulate("m1f_acc_loop", AddStyle::Hw);
+    core += "
+    # ---- detection net over the finished hardware phase ----
+    custom0 12, t0, zero, zero, 1, 0, 0    # STAT: any latched fault?
+    bnez t0, k_degrade
+    la   t0, hw_fault
+    ld   t0, 0(t0)
+    bnez t0, k_degrade
+    # Product residue: sum(X)*sum(Y) == sum(hi)+sum(lo)  (mod 9).
+    mv   a0, s6
+    call bcd_mod9
+    mv   t3, a0
+    mv   a0, s7
+    call bcd_mod9
+    mul  t3, t3, a0
+    mv   a0, s11
+    call bcd_mod9
+    mv   t4, a0
+    mv   a0, s9
+    call bcd_mod9
+    add  t4, t4, a0
+    li   t0, 9
+    remu t3, t3, t0
+    remu t4, t4, t0
+    bne  t3, t4, k_degrade
+    j    k_pack
+k_degrade:
+    # Graceful degradation: count it, quiesce the accelerator, recompute
+    # the whole product in software from the preserved coefficients.
+    la   t0, ft_degraded
+    ld   t1, 0(t0)
+    addi t1, t1, 1
+    sd   t1, 0(t0)
+    custom0 5, zero, zero, zero, 0, 0, 0   # CLR_ALL: recover the FSM
+";
+    core += &mm_build("m1f_soft_mm_loop", AddStyle::Soft);
+    core += &accumulate("m1f_soft_acc_loop", AddStyle::Soft);
+    core += "    j    k_pack\n";
+    let helpers = "
+k_trap:
+    # M-mode trap handler: the busy-watchdog aborted a wedged accelerator
+    # command. Latch the fault for the detection net and resume past the
+    # aborted instruction.
+    addi sp, sp, -16
+    sd   t0, 0(sp)
+    sd   t1, 8(sp)
+    la   t0, hw_fault
+    li   t1, 1
+    sd   t1, 0(t0)
+    csrrs t0, 0x341, zero      # mepc
+    addi t0, t0, 4
+    csrrw zero, 0x341, t0
+    ld   t0, 0(sp)
+    ld   t1, 8(sp)
+    addi sp, sp, 16
+    mret
+
+bcd_mod9:
+    # a0 = packed BCD -> a0 = digit sum mod 9. Clobbers t0-t2.
+    li   t1, 0
+    li   t2, 16
+bm9_loop:
+    andi t0, a0, 15
+    add  t1, t1, t0
+    srli a0, a0, 4
+    addi t2, t2, -1
+    bnez t2, bm9_loop
+    li   t0, 9
+    remu a0, t1, t0
+    ret
+";
+    format!("{PROLOGUE}{core}{EPILOGUE}{helpers}")
+}

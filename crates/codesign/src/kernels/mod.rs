@@ -22,12 +22,17 @@
 //! * [`KernelKind::Method1Dummy`] — Method-1 with every accelerator call
 //!   replaced by a call to a dummy function with a fixed return (the prior
 //!   art's estimation methodology; results are wrong by design).
+//! * [`KernelKind::Method1Ft`] — fault-tolerant Method-1: the hardware
+//!   phase is wrapped in a detection net (in-band `STAT`, the watchdog
+//!   trap flag, mod-9 residues) and degrades gracefully to a digit-serial
+//!   software recompute when the accelerator misbehaves.
 //! * [`KernelKind::Method2`]/[`KernelKind::Method3`]/[`KernelKind::Method4`] — the deeper-offload
 //!   design points (multiples table inside the accelerator; digit
 //!   multiply-accumulate; full hardware multiply).
 
 mod common;
 mod method1;
+mod method1_ft;
 mod methods234;
 mod softmul;
 mod tables;
@@ -46,6 +51,8 @@ pub enum KernelKind {
     Method1,
     /// Method-1 with dummy functions instead of hardware.
     Method1Dummy,
+    /// Fault-tolerant Method-1: detection net plus software fallback.
+    Method1Ft,
     /// Method-2: multiples table kept in the accelerator register file.
     Method2,
     /// Method-3: digit multiply-accumulate in hardware.
@@ -56,11 +63,12 @@ pub enum KernelKind {
 
 impl KernelKind {
     /// All kernels, software baseline first.
-    pub const ALL: [KernelKind; 7] = [
+    pub const ALL: [KernelKind; 8] = [
         KernelKind::Software,
         KernelKind::SoftwareBid,
         KernelKind::Method1,
         KernelKind::Method1Dummy,
+        KernelKind::Method1Ft,
         KernelKind::Method2,
         KernelKind::Method3,
         KernelKind::Method4,
@@ -74,6 +82,7 @@ impl KernelKind {
             KernelKind::SoftwareBid => "Software (BID-style)",
             KernelKind::Method1 => "Method-1",
             KernelKind::Method1Dummy => "Method-1 (dummy functions)",
+            KernelKind::Method1Ft => "Method-1 (fault-tolerant)",
             KernelKind::Method2 => "Method-2",
             KernelKind::Method3 => "Method-3",
             KernelKind::Method4 => "Method-4",
@@ -121,22 +130,30 @@ pub fn kernel_source(kind: KernelKind) -> String {
         KernelKind::Method1 | KernelKind::Method1Dummy => {
             let dummy = kind == KernelKind::Method1Dummy;
             out += &method1::kernel(dummy);
-            out += &common::subroutines_bcd(dummy);
+            out += &common::subroutines_bcd(common::AddStyle::from_dummy(dummy));
             if dummy {
                 out += common::DUMMY_FUNCTIONS;
             }
         }
+        KernelKind::Method1Ft => {
+            // The rounding epilogue also uses the software adder, so a
+            // fault latched after the detection net cannot corrupt the
+            // rounding increment.
+            out += &method1_ft::kernel_ft();
+            out += &common::subroutines_bcd(common::AddStyle::Soft);
+            out += common::SOFT_BCD_ADD;
+        }
         KernelKind::Method2 => {
             out += &methods234::kernel_method2();
-            out += &common::subroutines_bcd(false);
+            out += &common::subroutines_bcd(common::AddStyle::Hw);
         }
         KernelKind::Method3 => {
             out += &methods234::kernel_method3();
-            out += &common::subroutines_bcd(false);
+            out += &common::subroutines_bcd(common::AddStyle::Hw);
         }
         KernelKind::Method4 => {
             out += &methods234::kernel_method4();
-            out += &common::subroutines_bcd(false);
+            out += &common::subroutines_bcd(common::AddStyle::Hw);
         }
     }
     out += &tables::data_tables(kind);

@@ -72,9 +72,19 @@ pub fn data_tables(kind: KernelKind) -> String {
                     }
                 }),
             );
-            if matches!(kind, KernelKind::Method1 | KernelKind::Method1Dummy) {
+            if matches!(
+                kind,
+                KernelKind::Method1 | KernelKind::Method1Dummy | KernelKind::Method1Ft
+            ) {
                 // Multiplicand-multiples table: MM[0..9] as (lo, hi) pairs.
                 out += ".align 3\nmm_table:\n    .space 160\n";
+            }
+            if kind == KernelKind::Method1Ft {
+                // Fault-tolerance scratch: the software adder's carry
+                // latch, the watchdog-trap flag, and the degradation
+                // counter the framework reads back.
+                out += ".align 3\nsoft_carry:\n    .space 8\n";
+                out += "hw_fault:\n    .space 8\nft_degraded:\n    .space 8\n";
             }
         }
     }

@@ -87,8 +87,8 @@ fn sub_digits(a: &[u8], b: &[u8]) -> Vec<u8> {
     debug_assert!(cmp_digits(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0i8;
-    for i in 0..a.len() {
-        let mut d = a[i] as i8 - b.get(i).copied().unwrap_or(0) as i8 - borrow;
+    for (i, &ad) in a.iter().enumerate() {
+        let mut d = ad as i8 - b.get(i).copied().unwrap_or(0) as i8 - borrow;
         if d < 0 {
             d += 10;
             borrow = 1;

@@ -32,7 +32,7 @@ impl DecNumber {
                 let digits: Vec<u8> = parts
                     .coefficient
                     .iter_digits()
-                    .take(parts.coefficient.significant_digits().max(0) as usize)
+                    .take(parts.coefficient.significant_digits() as usize)
                     .collect();
                 DecNumber::from_parts(parts.sign, &digits, parts.exponent)
             }

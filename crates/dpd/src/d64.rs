@@ -191,7 +191,7 @@ impl Decimal64 {
         };
         let exp_cont = (self.0 >> Self::EXP_CONT_SHIFT) & ((1 << Self::EXP_CONT_BITS) - 1);
         let biased = (exp_high << Self::EXP_CONT_BITS) | exp_cont;
-        let mut raw = u64::from(msd) << 60;
+        let mut raw = msd << 60;
         for i in 0..Self::DECLETS {
             let declet = ((self.0 >> (10 * i)) & 0x3FF) as u16;
             raw |= u64::from(decode_declet_bcd(declet)) << (12 * i);

@@ -1,0 +1,506 @@
+//! Systematic fault-injection campaign over the accelerator's
+//! architectural state.
+//!
+//! A campaign runs one guest program to completion on a healthy
+//! accelerator (the *golden* run), then replays it once per planned fault,
+//! flipping a single bit of accelerator state — a register-file entry, the
+//! carry latch, or the interface FSM — immediately before a sampled
+//! command index. Every replay is classified into exactly one of four
+//! outcomes:
+//!
+//! * [`FaultOutcome::Masked`] — the run finished with the golden results
+//!   and nothing noticed; the flipped state was dead (e.g. a register-file
+//!   bit Method-1 never reads).
+//! * [`FaultOutcome::Detected`] — the guest's detection net saw the fault
+//!   in-band: a nonzero `STAT` readback, or a fault-tolerant kernel's
+//!   degradation counter advancing. Results still match the golden run.
+//! * [`FaultOutcome::CaughtByWatchdog`] — the core's busy-watchdog aborted
+//!   a wedged handshake: either delivered as an M-mode trap the guest
+//!   handled, or surfaced as [`riscv_sim::CpuError::RoccTimeout`] when no
+//!   trap vector was armed. Bounded in time either way.
+//! * [`FaultOutcome::SilentDataCorruption`] — the run finished cleanly but
+//!   the results differ from the golden run: the worst class, the one
+//!   fault tolerance exists to eliminate.
+//!
+//! The plan is drawn deterministically from a [`SplitMix64`] seed, so a
+//! campaign is exactly reproducible from `(program, seed, faults)`.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use riscv_asm::Program;
+use riscv_isa::csr::cause;
+use riscv_sim::{Coprocessor, Cpu, CpuError, Memory, RoccCommand, RoccResponse};
+use rocc::{DecimalAccelerator, DecimalFunct};
+
+use crate::fuzz::SplitMix64;
+use crate::guest::load_program;
+
+/// One single-bit (or single-latch) fault in accelerator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Flip one bit of a register-file entry (`regfile[15]` is the
+    /// accumulator, so the sweep covers it too).
+    RegisterBit {
+        /// Register-file index (0..16).
+        index: usize,
+        /// Bit position (0..128).
+        bit: u32,
+    },
+    /// Flip the latched decimal carry.
+    CarryFlip,
+    /// Wedge the interface FSM mid-command: the handshake never completes
+    /// until the core's busy-watchdog aborts it.
+    FsmWedge,
+    /// Force the FSM state register into `Error` without a latched cause.
+    FsmError,
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultTarget::RegisterBit { index, bit } => write!(f, "regfile[{index}] bit {bit}"),
+            FaultTarget::CarryFlip => write!(f, "carry flip"),
+            FaultTarget::FsmWedge => write!(f, "FSM wedge"),
+            FaultTarget::FsmError => write!(f, "FSM error-state flip"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProbeState {
+    commands_seen: Cell<u64>,
+    fired: Cell<bool>,
+    stat_detected: Cell<bool>,
+}
+
+/// Shared observation handle for a [`FaultInjectingAccelerator`]: the
+/// campaign keeps one end while the core owns the accelerator.
+#[derive(Debug, Clone, Default)]
+pub struct FaultProbe(Rc<ProbeState>);
+
+impl FaultProbe {
+    /// RoCC commands the accelerator has received so far.
+    #[must_use]
+    pub fn commands_seen(&self) -> u64 {
+        self.0.commands_seen.get()
+    }
+
+    /// True once the planned fault has been injected.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.0.fired.get()
+    }
+
+    /// True if the guest read a nonzero `STAT` word after the injection —
+    /// the in-band detection signal.
+    #[must_use]
+    pub fn stat_detected(&self) -> bool {
+        self.0.stat_detected.get()
+    }
+}
+
+/// A [`DecimalAccelerator`] that injects one planned fault into its own
+/// architectural state immediately before the command at `fire_at`, and
+/// records (through a [`FaultProbe`]) whether the guest later observed a
+/// nonzero `STAT`.
+#[derive(Debug)]
+pub struct FaultInjectingAccelerator {
+    inner: DecimalAccelerator,
+    fire_at: Option<u64>,
+    fault: Option<FaultTarget>,
+    probe: Rc<ProbeState>,
+}
+
+impl FaultInjectingAccelerator {
+    /// An accelerator that injects `fault` before command `fire_at`
+    /// (0-based). Returns the accelerator and its observation probe.
+    #[must_use]
+    pub fn new(fault: FaultTarget, fire_at: u64) -> (Self, FaultProbe) {
+        let probe = Rc::new(ProbeState::default());
+        (
+            FaultInjectingAccelerator {
+                inner: DecimalAccelerator::new(),
+                fire_at: Some(fire_at),
+                fault: Some(fault),
+                probe: Rc::clone(&probe),
+            },
+            FaultProbe(probe),
+        )
+    }
+
+    /// A healthy accelerator that only counts commands — the golden run.
+    #[must_use]
+    pub fn golden() -> (Self, FaultProbe) {
+        let probe = Rc::new(ProbeState::default());
+        (
+            FaultInjectingAccelerator {
+                inner: DecimalAccelerator::new(),
+                fire_at: None,
+                fault: None,
+                probe: Rc::clone(&probe),
+            },
+            FaultProbe(probe),
+        )
+    }
+
+    fn apply(&mut self, fault: FaultTarget) {
+        match fault {
+            FaultTarget::RegisterBit { index, bit } => {
+                self.inner.inject_register_bit_flip(index, bit);
+            }
+            FaultTarget::CarryFlip => self.inner.inject_carry_flip(),
+            FaultTarget::FsmWedge => self.inner.inject_fsm_wedge(),
+            FaultTarget::FsmError => self.inner.inject_fsm_error(),
+        }
+    }
+}
+
+impl Coprocessor for FaultInjectingAccelerator {
+    fn execute(&mut self, cmd: &RoccCommand, mem: &mut Memory) -> Result<RoccResponse, CpuError> {
+        let index = self.probe.commands_seen.get();
+        self.probe.commands_seen.set(index + 1);
+        if !self.probe.fired.get() && self.fire_at == Some(index) {
+            if let Some(fault) = self.fault {
+                self.apply(fault);
+            }
+            self.probe.fired.set(true);
+        }
+        let response = self.inner.execute(cmd, mem)?;
+        if self.probe.fired.get()
+            && cmd.instruction.funct7 == DecimalFunct::Stat.funct7()
+            && response.rd_value.is_some_and(|v| v != 0)
+        {
+            self.probe.stat_detected.set(true);
+        }
+        Ok(response)
+    }
+
+    fn watchdog_abort(&mut self) {
+        self.inner.watchdog_abort();
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Classification of one fault replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Golden results, no detection signal: the fault hit dead state.
+    Masked,
+    /// The guest observed the fault in-band (STAT or its degradation
+    /// counter) and the results still match the golden run.
+    Detected,
+    /// The busy-watchdog bounded a wedged handshake (trap or
+    /// `RoccTimeout`).
+    CaughtByWatchdog,
+    /// Clean completion with wrong results.
+    SilentDataCorruption,
+}
+
+impl std::fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Detected => "detected",
+            FaultOutcome::CaughtByWatchdog => "caught-by-watchdog",
+            FaultOutcome::SilentDataCorruption => "silent-data-corruption",
+        })
+    }
+}
+
+/// One planned fault and what came of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Command index the fault preceded.
+    pub at_command: u64,
+    /// What was flipped.
+    pub target: FaultTarget,
+    /// How the replay ended.
+    pub outcome: FaultOutcome,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Plan seed: same seed, same program — same campaign, fault for
+    /// fault.
+    pub seed: u64,
+    /// Number of faults to inject.
+    pub faults: usize,
+    /// Instruction budget per replay (a replay must never hang the host).
+    pub instruction_budget: u64,
+    /// Data symbol holding the guest's results, compared word-for-word
+    /// against the golden run to tell masked from corrupted.
+    pub results_symbol: Option<String>,
+    /// Number of 64-bit words under `results_symbol`.
+    pub result_words: usize,
+    /// Data symbol of a degradation counter (fault-tolerant kernels); an
+    /// advance past the golden value counts as in-band detection.
+    pub degraded_symbol: Option<String>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 2019,
+            faults: 500,
+            instruction_budget: 2_000_000,
+            results_symbol: Some("results".to_string()),
+            result_words: 0,
+            degraded_symbol: Some("ft_degraded".to_string()),
+        }
+    }
+}
+
+/// The campaign's result: the golden baseline, every classified record,
+/// and any replay that escaped the four classes (must be empty).
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// RoCC commands the golden run issued (the samplable index space).
+    pub total_commands: u64,
+    /// The golden run's exit code.
+    pub golden_exit: i64,
+    /// One record per injected fault, in plan order.
+    pub records: Vec<FaultRecord>,
+    /// Replays that ended outside the four classes (budget exhaustion, an
+    /// unexpected fault). A sound protocol leaves this empty.
+    pub errors: Vec<String>,
+}
+
+/// Per-class totals of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignTally {
+    /// Faults with no architectural effect.
+    pub masked: u64,
+    /// Faults the guest observed in-band.
+    pub detected: u64,
+    /// Wedges bounded by the busy-watchdog.
+    pub caught_by_watchdog: u64,
+    /// Faults that silently corrupted results.
+    pub silent_data_corruption: u64,
+}
+
+impl CampaignReport {
+    /// Per-class totals.
+    #[must_use]
+    pub fn tally(&self) -> CampaignTally {
+        let mut tally = CampaignTally::default();
+        for record in &self.records {
+            match record.outcome {
+                FaultOutcome::Masked => tally.masked += 1,
+                FaultOutcome::Detected => tally.detected += 1,
+                FaultOutcome::CaughtByWatchdog => tally.caught_by_watchdog += 1,
+                FaultOutcome::SilentDataCorruption => tally.silent_data_corruption += 1,
+            }
+        }
+        tally
+    }
+
+    /// True when every replay landed in one of the four classes.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+fn read_words(memory: &Memory, program: &Program, symbol: &str, words: usize) -> Option<Vec<u64>> {
+    let base = program.symbol(symbol)?;
+    (0..words)
+        .map(|i| memory.read_u64(base + 8 * i as u64).ok())
+        .collect()
+}
+
+fn read_counter(memory: &Memory, program: &Program, symbol: &str) -> Option<u64> {
+    memory.read_u64(program.symbol(symbol)?).ok()
+}
+
+fn sample_target(rng: &mut SplitMix64) -> FaultTarget {
+    // Register-file bits dominate the real state space; weight them so.
+    match rng.below(8) {
+        0..=4 => FaultTarget::RegisterBit {
+            index: rng.below(16) as usize,
+            bit: rng.below(128) as u32,
+        },
+        5 => FaultTarget::CarryFlip,
+        6 => FaultTarget::FsmWedge,
+        _ => FaultTarget::FsmError,
+    }
+}
+
+/// Runs a full campaign over `program`.
+///
+/// The golden run must complete with exit code 0 within the budget;
+/// otherwise the report carries a single error and no records. Replays
+/// never panic the host: every failure mode is either classified or
+/// reported in [`CampaignReport::errors`].
+#[must_use]
+pub fn run_campaign(program: &Program, config: &CampaignConfig) -> CampaignReport {
+    // ---- golden run ----
+    let (accelerator, probe) = FaultInjectingAccelerator::golden();
+    let mut cpu = Cpu::new();
+    cpu.attach_coprocessor(Box::new(accelerator));
+    load_program(&mut cpu, program);
+    let golden_exit = match cpu.run(config.instruction_budget) {
+        Ok(code) => code,
+        Err(e) => {
+            return CampaignReport {
+                total_commands: probe.commands_seen(),
+                golden_exit: -1,
+                records: Vec::new(),
+                errors: vec![format!("golden run failed: {e}")],
+            }
+        }
+    };
+    let total_commands = probe.commands_seen();
+    let golden_results = config
+        .results_symbol
+        .as_deref()
+        .and_then(|s| read_words(&cpu.memory, program, s, config.result_words));
+    let golden_degraded = config
+        .degraded_symbol
+        .as_deref()
+        .and_then(|s| read_counter(&cpu.memory, program, s));
+    if total_commands == 0 {
+        return CampaignReport {
+            total_commands,
+            golden_exit,
+            records: Vec::new(),
+            errors: vec!["guest issued no RoCC commands; nothing to inject into".to_string()],
+        };
+    }
+
+    // ---- planned replays ----
+    let mut rng = SplitMix64::new(config.seed);
+    let mut records = Vec::with_capacity(config.faults);
+    let mut errors = Vec::new();
+    for _ in 0..config.faults {
+        let at_command = rng.below(total_commands);
+        let target = sample_target(&mut rng);
+        let (accelerator, probe) = FaultInjectingAccelerator::new(target, at_command);
+        let mut cpu = Cpu::new();
+        cpu.attach_coprocessor(Box::new(accelerator));
+        load_program(&mut cpu, program);
+        let run = cpu.run(config.instruction_budget);
+        let watchdog_trapped = cpu
+            .trap_log
+            .iter()
+            .any(|t| t.cause == cause::ROCC_TIMEOUT);
+        let outcome = match run {
+            // Watchdog surfaced as a hard fault: no trap vector was armed.
+            Err(CpuError::RoccTimeout { .. }) => FaultOutcome::CaughtByWatchdog,
+            Err(e) => {
+                errors.push(format!(
+                    "fault {target} before command {at_command}: unclassified failure: {e}"
+                ));
+                continue;
+            }
+            Ok(code) => {
+                let results = config
+                    .results_symbol
+                    .as_deref()
+                    .and_then(|s| read_words(&cpu.memory, program, s, config.result_words));
+                let degraded = config
+                    .degraded_symbol
+                    .as_deref()
+                    .and_then(|s| read_counter(&cpu.memory, program, s));
+                let corrupted = code != golden_exit || results != golden_results;
+                let in_band = probe.stat_detected()
+                    || matches!((golden_degraded, degraded), (Some(g), Some(d)) if d > g);
+                if watchdog_trapped {
+                    FaultOutcome::CaughtByWatchdog
+                } else if corrupted {
+                    FaultOutcome::SilentDataCorruption
+                } else if in_band {
+                    FaultOutcome::Detected
+                } else {
+                    FaultOutcome::Masked
+                }
+            }
+        };
+        records.push(FaultRecord {
+            at_command,
+            target,
+            outcome,
+        });
+    }
+    CampaignReport {
+        total_commands,
+        golden_exit,
+        records,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_asm::assemble;
+
+    fn add_guest() -> Program {
+        // Four DEC_ADD/DEC_ADC pairs, results summed into a0.
+        assemble(
+            "
+            start:
+                li   s1, 0
+                li   s2, 4
+            loop:
+                li   t0, 0x15
+                li   t1, 0x27
+                custom0 4, t2, t0, t1, 1, 1, 1
+                custom0 9, t3, zero, zero, 1, 1, 1
+                add  s1, s1, t2
+                add  s1, s1, t3
+                addi s2, s2, -1
+                bnez s2, loop
+                la   t0, results
+                sd   s1, 0(t0)
+                li   a0, 0
+                li   a7, 93
+                ecall
+                .data
+            .align 3
+            results:
+                .space 8
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn campaign_is_deterministic_in_the_seed() {
+        let program = add_guest();
+        let config = CampaignConfig {
+            faults: 60,
+            result_words: 1,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&program, &config);
+        let b = run_campaign(&program, &config);
+        assert_eq!(a.records, b.records);
+        assert!(a.ok(), "{:?}", a.errors);
+        assert_eq!(a.total_commands, 8);
+    }
+
+    #[test]
+    fn unprotected_guest_shows_corruption_and_watchdog_classes() {
+        let program = add_guest();
+        let report = run_campaign(
+            &program,
+            &CampaignConfig {
+                faults: 120,
+                result_words: 1,
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(report.ok(), "{:?}", report.errors);
+        let tally = report.tally();
+        // No trap vector and no STAT reads: wedges die on RoccTimeout and
+        // carry flips corrupt silently.
+        assert!(tally.caught_by_watchdog > 0, "{tally:?}");
+        assert!(tally.silent_data_corruption > 0, "{tally:?}");
+        assert!(tally.masked > 0, "{tally:?}");
+    }
+}

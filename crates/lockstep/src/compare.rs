@@ -96,6 +96,14 @@ pub enum StepOutcome {
         /// The exit code.
         code: i64,
     },
+    /// A fault was delivered to the guest's `mtvec` handler instead of
+    /// killing the run.
+    Trapped {
+        /// The `mcause` value written.
+        cause: u64,
+        /// The `mepc` value written (the faulting pc).
+        epc: u64,
+    },
     /// The step faulted.
     Fault(CpuError),
 }
@@ -105,6 +113,9 @@ impl std::fmt::Display for StepOutcome {
         match self {
             StepOutcome::Retired(record) => write!(f, "{record}"),
             StepOutcome::Exited { code } => write!(f, "exited with code {code}"),
+            StepOutcome::Trapped { cause, epc } => {
+                write!(f, "trapped to handler (mcause={cause}, mepc={epc:#x})")
+            }
             StepOutcome::Fault(error) => write!(f, "fault: {error}"),
         }
     }
@@ -304,6 +315,7 @@ fn outcome_of(result: Result<Event, CpuError>, cpu: &Cpu) -> StepOutcome {
             StepOutcome::Retired(RetirementRecord::capture(cpu, &retired))
         }
         Ok(Event::Exited { code }) => StepOutcome::Exited { code },
+        Ok(Event::Trapped { cause, epc }) => StepOutcome::Trapped { cause, epc },
         Err(error) => StepOutcome::Fault(error),
     }
 }
@@ -387,6 +399,13 @@ pub fn run_lockstep(
                     instructions: step + 1,
                     termination: Termination::Exited(*ca),
                 };
+            }
+            (
+                StepOutcome::Trapped { cause: ca, epc: ea },
+                StepOutcome::Trapped { cause: cb, epc: eb },
+            ) if ca == cb && ea == eb => {
+                // Identical trap delivery on both sides: not a retirement,
+                // the lockstep run simply continues inside the handler.
             }
             (StepOutcome::Fault(ea), StepOutcome::Fault(eb)) if ea == eb => {
                 return LockstepOutcome::Agreement {

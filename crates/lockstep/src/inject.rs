@@ -44,15 +44,14 @@ impl Coprocessor for WrongDigitAccelerator {
 }
 
 /// An accelerator whose interface FSM wedges after a number of commands:
-/// once stuck, commands no longer reach the execution unit and every
-/// response replays the last `rd` value the interface latched (stale data,
-/// no state update) — modelling a Fig. 5 FSM that stops advancing.
+/// once stuck, the handshake never completes — `ready` stays low forever
+/// (modelled as [`RoccResponse::hung`]) — modelling a Fig. 5 FSM that stops
+/// advancing. The core's busy-watchdog is what bounds the hang.
 #[derive(Debug)]
 pub struct StuckFsmAccelerator {
     inner: DecimalAccelerator,
     stuck_after: u64,
     commands_seen: u64,
-    last_rd: u64,
 }
 
 impl StuckFsmAccelerator {
@@ -64,7 +63,6 @@ impl StuckFsmAccelerator {
             inner: DecimalAccelerator::new(),
             stuck_after,
             commands_seen: 0,
-            last_rd: 0,
         }
     }
 }
@@ -73,22 +71,18 @@ impl Coprocessor for StuckFsmAccelerator {
     fn execute(&mut self, cmd: &RoccCommand, mem: &mut Memory) -> Result<RoccResponse, CpuError> {
         self.commands_seen += 1;
         if self.commands_seen <= self.stuck_after {
-            let response = self.inner.execute(cmd, mem)?;
-            if let Some(value) = response.rd_value {
-                self.last_rd = value;
-            }
-            return Ok(response);
+            return self.inner.execute(cmd, mem);
         }
-        Ok(RoccResponse {
-            rd_value: cmd.instruction.xd.then_some(self.last_rd),
-            busy_cycles: 1,
-            mem_accesses: 0,
-        })
+        Ok(RoccResponse::hung())
+    }
+
+    fn watchdog_abort(&mut self) {
+        // The wrapped datapath latches the abort so a later STAT sees it.
+        self.inner.watchdog_abort();
     }
 
     fn reset(&mut self) {
         self.inner.reset();
         self.commands_seen = 0;
-        self.last_rd = 0;
     }
 }

@@ -22,7 +22,11 @@
 //!   sequences;
 //! * the [`inject`] module provides deliberately-faulty accelerators
 //!   (wrong digit, stuck interface FSM) to prove the comparator catches
-//!   RoCC-level bugs.
+//!   RoCC-level bugs;
+//! * the [`campaign`] module runs seeded single-bit fault-injection
+//!   campaigns over the accelerator's architectural state, classifying
+//!   every fault as masked, detected in-band, caught by the watchdog, or
+//!   silent data corruption.
 //!
 //! Cycle counts are timing, not architecture: guest `rdcycle` values
 //! legitimately differ across timing models and are masked by the
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 mod compare;
 pub mod fuzz;
 mod guest;

@@ -7,7 +7,7 @@
 //! datapath the accelerator is built on, so an error in either shows up as
 //! a mismatch.
 
-use rocc::{DecimalAccelerator, DecimalFunct, ACC_INDEX};
+use rocc::{AccelCause, DecimalAccelerator, DecimalFunct, ACC_INDEX};
 
 use crate::fuzz::SplitMix64;
 
@@ -38,12 +38,17 @@ fn bcd_encode(mut value: u128) -> u128 {
     raw
 }
 
-/// The independent software model of the accelerator's architectural state.
+/// The independent software model of the accelerator's architectural state,
+/// including the sticky in-band error protocol: a faulting command latches
+/// a cause, subsequent commands are ignored (answered with a benign zero),
+/// `STAT` reads the status word, and only `CLR_ALL` recovers.
 #[derive(Debug, Clone, Default)]
 pub struct SoftwareModel {
     regs: [u128; 16],
     bin_scratch: u64,
     carry: bool,
+    error: bool,
+    latched: Option<(AccelCause, u8)>,
 }
 
 impl SoftwareModel {
@@ -73,13 +78,37 @@ impl SoftwareModel {
         self.regs[index] = (self.regs[index] & !mask) | (u128::from(value) << shift);
     }
 
+    /// The status word `STAT` would read, built independently from the
+    /// published wire format (funct7 in bits 15:8, error flag in bit 7,
+    /// cause code in bits 6:0).
+    #[must_use]
+    pub fn status_word(&self) -> u64 {
+        let mut word = 0u64;
+        if self.error {
+            word |= 1 << 7;
+        }
+        if let Some((cause, funct7)) = self.latched {
+            word |= u64::from(cause.code()) | (u64::from(funct7) << 8);
+        }
+        word
+    }
+
+    fn clear(&mut self) {
+        self.regs = [0; 16];
+        self.bin_scratch = 0;
+        self.carry = false;
+        self.error = false;
+        self.latched = None;
+    }
+
     /// Executes one function; returns the `rd` value (if the function
-    /// produces one) or an error message for protocol violations.
+    /// produces one). A faulting command latches its cause in-band and
+    /// answers with a benign zero, exactly as the accelerator does.
     ///
     /// # Errors
     ///
-    /// Returns a description when an operand is not valid BCD or a digit
-    /// exceeds 9 — the same conditions the accelerator rejects.
+    /// `LD` through this register-only entry point is a host protocol
+    /// violation, mirroring [`DecimalAccelerator::command`].
     pub fn command(
         &mut self,
         funct: DecimalFunct,
@@ -89,6 +118,38 @@ impl SoftwareModel {
         rs1_field: u8,
         rs2_field: u8,
     ) -> Result<Option<u64>, &'static str> {
+        if funct == DecimalFunct::Ld {
+            return Err("LD requires the memory interface");
+        }
+        if self.error {
+            return Ok(match funct {
+                DecimalFunct::Stat => Some(self.status_word()),
+                DecimalFunct::ClrAll => {
+                    self.clear();
+                    None
+                }
+                _ => Some(0),
+            });
+        }
+        match self.execute(funct, rs1_value, rs2_value, rd_field, rs1_field, rs2_field) {
+            Ok(rd) => Ok(rd),
+            Err(cause) => {
+                self.latched = Some((cause, funct.funct7()));
+                self.error = true;
+                Ok(Some(0))
+            }
+        }
+    }
+
+    fn execute(
+        &mut self,
+        funct: DecimalFunct,
+        rs1_value: u64,
+        rs2_value: u64,
+        rd_field: u8,
+        rs1_field: u8,
+        rs2_field: u8,
+    ) -> Result<Option<u64>, AccelCause> {
         match funct {
             DecimalFunct::Wr => {
                 self.write_half(rs2_field, rs1_value);
@@ -99,14 +160,17 @@ impl SoftwareModel {
                 let half = u32::from((rs1_field >> 4) & 1);
                 Ok(Some((self.regs[index] >> (64 * half)) as u64))
             }
-            DecimalFunct::Ld => Err("LD requires the memory interface"),
+            DecimalFunct::Ld => Err(AccelCause::ProtocolViolation),
+            DecimalFunct::Stat => Ok(Some(self.status_word())),
             DecimalFunct::Accum => {
                 self.bin_scratch = self.bin_scratch.wrapping_add(rs1_value);
                 Ok(Some(self.bin_scratch))
             }
             DecimalFunct::DecAdd | DecimalFunct::DecAdc => {
-                let a = bcd_value(u128::from(rs1_value), 16).ok_or("invalid BCD operand")?;
-                let b = bcd_value(u128::from(rs2_value), 16).ok_or("invalid BCD operand")?;
+                let a = bcd_value(u128::from(rs1_value), 16)
+                    .ok_or(AccelCause::InvalidBcdOperand)?;
+                let b = bcd_value(u128::from(rs2_value), 16)
+                    .ok_or(AccelCause::InvalidBcdOperand)?;
                 let carry_in =
                     u128::from(funct == DecimalFunct::DecAdc && self.carry);
                 let sum = a + b + carry_in;
@@ -114,9 +178,7 @@ impl SoftwareModel {
                 Ok(Some(bcd_encode(sum % POW10_16) as u64))
             }
             DecimalFunct::ClrAll => {
-                self.regs = [0; 16];
-                self.bin_scratch = 0;
-                self.carry = false;
+                self.clear();
                 Ok(None)
             }
             DecimalFunct::DecCnv => {
@@ -128,20 +190,21 @@ impl SoftwareModel {
                 let i1 = (rs1_field & 0xF) as usize;
                 let i2 = (rs2_field & 0xF) as usize;
                 let a = bcd_value(u128::from(self.regs[i1] as u64), 16)
-                    .ok_or("register is not valid BCD")?;
+                    .ok_or(AccelCause::InvalidBcdRegister)?;
                 let b = bcd_value(u128::from(self.regs[i2] as u64), 16)
-                    .ok_or("register is not valid BCD")?;
+                    .ok_or(AccelCause::InvalidBcdRegister)?;
                 let product = bcd_encode(a * b);
                 self.regs[ACC_INDEX] = product;
                 Ok(Some(product as u64))
             }
             DecimalFunct::DecAccum => {
                 if rs1_value > 9 {
-                    return Err("digit operand exceeds 9");
+                    return Err(AccelCause::DigitRange);
                 }
-                let acc = bcd_value(self.regs[ACC_INDEX], 32).ok_or("accumulator not BCD")?;
+                let acc = bcd_value(self.regs[ACC_INDEX], 32)
+                    .ok_or(AccelCause::InvalidBcdRegister)?;
                 let addend = bcd_value(self.regs[rs1_value as usize], 32)
-                    .ok_or("register is not valid BCD")?;
+                    .ok_or(AccelCause::InvalidBcdRegister)?;
                 let sum = (acc * 10) % POW10_32 + addend;
                 self.carry = sum >= POW10_32;
                 self.regs[ACC_INDEX] = bcd_encode(sum % POW10_32);
@@ -151,8 +214,10 @@ impl SoftwareModel {
                 let ia = (rs1_field & 0xF) as usize;
                 let ib = (rs2_field & 0xF) as usize;
                 let id = (rd_field & 0xF) as usize;
-                let a = bcd_value(self.regs[ia], 32).ok_or("register is not valid BCD")?;
-                let b = bcd_value(self.regs[ib], 32).ok_or("register is not valid BCD")?;
+                let a = bcd_value(self.regs[ia], 32)
+                    .ok_or(AccelCause::InvalidBcdRegister)?;
+                let b = bcd_value(self.regs[ib], 32)
+                    .ok_or(AccelCause::InvalidBcdRegister)?;
                 let sum = a + b;
                 self.carry = sum >= POW10_32;
                 self.regs[id] = bcd_encode(sum % POW10_32);
@@ -160,11 +225,12 @@ impl SoftwareModel {
             }
             DecimalFunct::DecMulD => {
                 if rs1_value > 9 {
-                    return Err("digit operand exceeds 9");
+                    return Err(AccelCause::DigitRange);
                 }
                 let x = bcd_value(u128::from(self.regs[1] as u64), 16)
-                    .ok_or("register is not valid BCD")?;
-                let acc = bcd_value(self.regs[ACC_INDEX], 32).ok_or("accumulator not BCD")?;
+                    .ok_or(AccelCause::InvalidBcdRegister)?;
+                let acc = bcd_value(self.regs[ACC_INDEX], 32)
+                    .ok_or(AccelCause::InvalidBcdRegister)?;
                 let sum = (acc * 10) % POW10_32 + x * rs1_value as u128;
                 self.carry = sum >= POW10_32;
                 self.regs[ACC_INDEX] = bcd_encode(sum % POW10_32);
@@ -212,11 +278,24 @@ fn bcd_word(rng: &mut SplitMix64) -> u64 {
     value
 }
 
-/// A random command whose operands respect the valid-BCD register-file
-/// invariant (so both sides execute it rather than rejecting it).
+/// A random command. Most respect the valid-BCD register-file invariant so
+/// both sides execute them; a small slice deliberately feeds garbage
+/// operands (and later `STAT`/`CLR_ALL` reads) so the sticky in-band error
+/// protocol is itself differentially checked.
 fn random_command(rng: &mut SplitMix64) -> (DecimalFunct, u64, u64, u8, u8, u8) {
     let field = |rng: &mut SplitMix64| 1 + rng.below(7) as u8;
-    match rng.below(10) {
+    match rng.below(12) {
+        10 => (DecimalFunct::Stat, 0, 0, 0, 0, 0),
+        11 => (
+            // Raw 64-bit operands are almost never valid packed BCD, so
+            // this usually latches InvalidBcdOperand on both sides.
+            DecimalFunct::DecAdd,
+            rng.next_u64() | 0xF,
+            rng.next_u64(),
+            0,
+            0,
+            0,
+        ),
         0 => (DecimalFunct::Wr, bcd_word(rng), 0, 0, 0, field(rng)),
         1 => (DecimalFunct::Rd, 0, 0, 0, field(rng), 0),
         2 => (DecimalFunct::Accum, rng.next_u64(), 0, 0, 0, 0),

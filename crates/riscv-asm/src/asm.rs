@@ -247,10 +247,8 @@ impl Assembler {
                 if self.section != Section::Text {
                     return Err(err("instruction outside .text".into()));
                 }
-                let operands = parse_operands(operand_str)
-                    .map_err(|message| err(message))?;
-                let size = instr_size(&mnemonic, &operands)
-                    .map_err(|message| err(message))?;
+                let operands = parse_operands(operand_str).map_err(&err)?;
+                let size = instr_size(&mnemonic, &operands).map_err(&err)?;
                 self.instrs.push(PendingInstr {
                     line: line_no,
                     mnemonic,
@@ -331,7 +329,7 @@ impl Assembler {
                 let pad = (alignment - (self.here() % alignment)) % alignment;
                 if pad > 0 {
                     if self.section == Section::Text {
-                        if pad % 4 != 0 {
+                        if !pad.is_multiple_of(4) {
                             return Err(err(".align in .text must be word-aligned".into()));
                         }
                         // Pad with NOPs so the gap stays executable.
@@ -397,7 +395,7 @@ impl Assembler {
                 if self.section != Section::Data {
                     return Err(err(format!(".{name} outside .data")));
                 }
-                let mut bytes = parse_string(args.trim()).map_err(|m| err(m))?;
+                let mut bytes = parse_string(args.trim()).map_err(&err)?;
                 if name != "ascii" {
                     bytes.push(0);
                 }
@@ -451,9 +449,7 @@ fn strip_comment(line: &str) -> &str {
             }
         } else if c == b'"' {
             in_str = true;
-        } else if c == b'#' || c == b';' {
-            return &line[..i];
-        } else if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+        } else if c == b'#' || c == b';' || (c == b'/' && bytes.get(i + 1) == Some(&b'/')) {
             return &line[..i];
         }
         i += 1;
@@ -1268,6 +1264,10 @@ fn expand(pending: &PendingInstr, symbols: &BTreeMap<String, u64>) -> Result<Vec
         "ebreak" => {
             ctx.expect_len(0)?;
             vec![Instr::Ebreak]
+        }
+        "mret" => {
+            ctx.expect_len(0)?;
+            vec![Instr::Mret]
         }
         "fence" => vec![Instr::Fence],
         other => return Err(format!("unknown mnemonic {other:?}")),

@@ -14,6 +14,44 @@ pub const INSTRET: u16 = 0xC02;
 /// `mhartid` — hardware thread id (always zero in the single-core models).
 pub const MHARTID: u16 = 0xF14;
 
+/// `mstatus` — machine status (modelled as plain storage; the minimal trap
+/// model does not implement interrupt enables).
+pub const MSTATUS: u16 = 0x300;
+
+/// `mtvec` — machine trap vector. A nonzero value arms guest-visible trap
+/// delivery in every simulator; zero (the reset value) keeps the seed
+/// behaviour of surfacing faults to the host.
+pub const MTVEC: u16 = 0x305;
+
+/// `mscratch` — machine scratch register for trap handlers.
+pub const MSCRATCH: u16 = 0x340;
+
+/// `mepc` — machine exception program counter.
+pub const MEPC: u16 = 0x341;
+
+/// `mcause` — machine trap cause.
+pub const MCAUSE: u16 = 0x342;
+
+/// `mtval` — machine trap value (faulting address, CSR number, …).
+pub const MTVAL: u16 = 0x343;
+
+/// Machine trap-cause codes delivered by the simulators (RISC-V privileged
+/// spec values, plus one custom code in the platform-use range).
+pub mod cause {
+    /// Instruction address misaligned.
+    pub const MISALIGNED_FETCH: u64 = 0;
+    /// Instruction access fault.
+    pub const FETCH_FAULT: u64 = 1;
+    /// Illegal instruction.
+    pub const ILLEGAL_INSTRUCTION: u64 = 2;
+    /// Breakpoint (`ebreak`).
+    pub const BREAKPOINT: u64 = 3;
+    /// Load access fault.
+    pub const LOAD_FAULT: u64 = 5;
+    /// RoCC busy-watchdog timeout (custom cause, platform-use range ≥ 24).
+    pub const ROCC_TIMEOUT: u64 = 24;
+}
+
 /// Returns the canonical name of a CSR number, if known.
 #[must_use]
 pub fn name(csr: u16) -> Option<&'static str> {
@@ -22,6 +60,12 @@ pub fn name(csr: u16) -> Option<&'static str> {
         TIME => Some("time"),
         INSTRET => Some("instret"),
         MHARTID => Some("mhartid"),
+        MSTATUS => Some("mstatus"),
+        MTVEC => Some("mtvec"),
+        MSCRATCH => Some("mscratch"),
+        MEPC => Some("mepc"),
+        MCAUSE => Some("mcause"),
+        MTVAL => Some("mtval"),
         _ => None,
     }
 }
@@ -34,6 +78,18 @@ mod tests {
     fn names() {
         assert_eq!(name(CYCLE), Some("cycle"));
         assert_eq!(name(INSTRET), Some("instret"));
+        assert_eq!(name(MTVEC), Some("mtvec"));
+        assert_eq!(name(MEPC), Some("mepc"));
         assert_eq!(name(0x123), None);
+    }
+
+    #[test]
+    fn privileged_spec_numbers() {
+        assert_eq!(MSTATUS, 0x300);
+        assert_eq!(MTVEC, 0x305);
+        assert_eq!(MSCRATCH, 0x340);
+        assert_eq!(MEPC, 0x341);
+        assert_eq!(MCAUSE, 0x342);
+        assert_eq!(MTVAL, 0x343);
     }
 }

@@ -284,9 +284,10 @@ impl Instr {
                     0b000 => match word >> 20 {
                         0 if rd(word) == Reg::ZERO && rs1(word) == Reg::ZERO => Instr::Ecall,
                         1 if rd(word) == Reg::ZERO && rs1(word) == Reg::ZERO => Instr::Ebreak,
+                        0x302 if rd(word) == Reg::ZERO && rs1(word) == Reg::ZERO => Instr::Mret,
                         _ => return err,
                     },
-                    0b001 | 0b010 | 0b011 => {
+                    0b001..=0b011 => {
                         let op = match f3 {
                             0b001 => CsrOp::Csrrw,
                             0b010 => CsrOp::Csrrs,
@@ -299,7 +300,7 @@ impl Instr {
                             rs1: rs1(word),
                         }
                     }
-                    0b101 | 0b110 | 0b111 => {
+                    0b101..=0b111 => {
                         let op = match f3 {
                             0b101 => CsrOp::Csrrw,
                             0b110 => CsrOp::Csrrs,

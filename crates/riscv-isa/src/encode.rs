@@ -210,6 +210,7 @@ impl Instr {
             Instr::Fence => 0x0FF0_000F,
             Instr::Ecall => 0x0000_0073,
             Instr::Ebreak => 0x0010_0073,
+            Instr::Mret => 0x3020_0073,
             Instr::Csr { op, rd, csr, rs1 } => {
                 i_type(u32::from(csr), rs1, op.funct3(false), rd, 0b1110011)
             }
@@ -302,6 +303,7 @@ mod tests {
             ),
             (Instr::Ecall, 0x0000_0073),
             (Instr::Ebreak, 0x0010_0073),
+            (Instr::Mret, 0x3020_0073),
             (
                 // rdcycle a0 == csrrs a0, cycle, x0
                 Instr::Csr {

@@ -415,6 +415,8 @@ pub enum Instr {
     Ecall,
     /// Breakpoint.
     Ebreak,
+    /// Machine trap return (`mret`): jumps to `mepc`.
+    Mret,
     /// CSR access, register form.
     Csr { op: CsrOp, rd: Reg, csr: u16, rs1: Reg },
     /// CSR access, immediate form (5-bit zero-extended immediate).
@@ -456,13 +458,7 @@ impl Instr {
             | Instr::Op32 { rd, .. }
             | Instr::Csr { rd, .. }
             | Instr::CsrImm { rd, .. } => rd,
-            Instr::Custom(rocc) => {
-                if rocc.xd {
-                    rocc.rd
-                } else {
-                    return None;
-                }
-            }
+            Instr::Custom(rocc) if rocc.xd => rocc.rd,
             _ => return None,
         };
         (rd != Reg::ZERO).then_some(rd)
@@ -521,6 +517,7 @@ impl fmt::Display for Instr {
             Instr::Fence => write!(f, "fence"),
             Instr::Ecall => write!(f, "ecall"),
             Instr::Ebreak => write!(f, "ebreak"),
+            Instr::Mret => write!(f, "mret"),
             Instr::Csr { op, rd, csr, rs1 } => {
                 write!(f, "{} {rd}, {:#x}, {rs1}", op.mnemonic(false), csr)
             }

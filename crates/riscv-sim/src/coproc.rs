@@ -24,6 +24,11 @@ pub struct RoccCommand {
     pub rs2_value: u64,
 }
 
+/// Sentinel busy-cycle count meaning "the accelerator will never respond"
+/// (a wedged interface FSM). The core's busy-watchdog turns this into a
+/// bounded timeout instead of an infinite handshake wait.
+pub const ROCC_HANG: u32 = u32::MAX;
+
 /// An accelerator's response to one command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoccResponse {
@@ -31,11 +36,30 @@ pub struct RoccResponse {
     pub rd_value: Option<u64>,
     /// Cycles the accelerator's execution FSM was busy serving this command,
     /// excluding the interface handshake (which the core model charges
-    /// separately).
+    /// separately). [`ROCC_HANG`] means the response never arrives.
     pub busy_cycles: u32,
     /// Number of L1-D-side memory accesses performed via the RoCC `mem`
     /// interface.
     pub mem_accesses: u32,
+}
+
+impl RoccResponse {
+    /// A response that never arrives: the accelerator is wedged and the
+    /// core would wait on the `resp` handshake forever.
+    #[must_use]
+    pub fn hung() -> RoccResponse {
+        RoccResponse {
+            rd_value: None,
+            busy_cycles: ROCC_HANG,
+            mem_accesses: 0,
+        }
+    }
+
+    /// True when this response models a hang (see [`ROCC_HANG`]).
+    #[must_use]
+    pub fn is_hung(&self) -> bool {
+        self.busy_cycles == ROCC_HANG
+    }
 }
 
 /// An accelerator attachable to a simulated core's RoCC port.
@@ -49,6 +73,12 @@ pub trait Coprocessor {
     /// accesses, which the core reports as an illegal-instruction-style
     /// failure at the call site.
     fn execute(&mut self, cmd: &RoccCommand, mem: &mut Memory) -> Result<RoccResponse, CpuError>;
+
+    /// Called by the core when its busy-watchdog expires on this
+    /// accelerator's response (it returned a [`RoccResponse::hung`] or
+    /// exceeded the configured busy bound). The accelerator should force
+    /// itself into a recoverable state; the default does nothing.
+    fn watchdog_abort(&mut self) {}
 
     /// Resets all architectural accelerator state.
     fn reset(&mut self);

@@ -61,6 +61,27 @@ pub enum Event {
         /// The exit code passed in `a0`.
         code: i64,
     },
+    /// A fault was delivered to the guest's M-mode trap handler (armed by
+    /// writing a nonzero `mtvec`). The faulting instruction did not retire;
+    /// the next fetch is from the handler.
+    Trapped {
+        /// The `mcause` code (see [`riscv_isa::csr::cause`]).
+        cause: u64,
+        /// The faulting pc, as written to `mepc`.
+        epc: u64,
+    },
+}
+
+/// One delivered guest trap, recorded for harnesses (fault-injection
+/// classification, conformance checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrapRecord {
+    /// The `mcause` code.
+    pub cause: u64,
+    /// The faulting pc (`mepc`).
+    pub epc: u64,
+    /// The trap value (`mtval`): faulting address, CSR number, or 0.
+    pub tval: u64,
 }
 
 /// A data-memory effect of one retired instruction, with the transferred
@@ -150,6 +171,28 @@ impl std::fmt::Display for RetirementRecord {
     }
 }
 
+/// Maps a [`CpuError`] to its guest-visible `(mcause, mtval)`, or `None`
+/// for host-level conditions that never trap (unknown syscalls, budget
+/// exhaustion — those are simulation-harness concerns, not architecture).
+#[must_use]
+pub fn trap_cause(error: &CpuError) -> Option<(u64, u64)> {
+    use riscv_isa::csr::cause;
+    match *error {
+        CpuError::MisalignedPc(a) => Some((cause::MISALIGNED_FETCH, a)),
+        CpuError::FetchFault(a) => Some((cause::FETCH_FAULT, a)),
+        CpuError::Decode(_) => Some((cause::ILLEGAL_INSTRUCTION, 0)),
+        CpuError::Breakpoint(a) => Some((cause::BREAKPOINT, a)),
+        CpuError::ReadOnlyCsr(c) => Some((cause::ILLEGAL_INSTRUCTION, u64::from(c))),
+        CpuError::UnmappedAddress(a) => Some((cause::LOAD_FAULT, a)),
+        CpuError::NoCoprocessor { .. }
+        | CpuError::UnknownRoccFunction { .. }
+        | CpuError::RoccProtocol(_)
+        | CpuError::MissingRoccResponse { .. } => Some((cause::ILLEGAL_INSTRUCTION, 0)),
+        CpuError::RoccTimeout { .. } => Some((cause::ROCC_TIMEOUT, 0)),
+        CpuError::UnknownSyscall(_) | CpuError::InstructionLimit(_) => None,
+    }
+}
+
 /// Reads `size` bytes at `addr` zero-extended to 64 bits; the access was
 /// just performed by the instruction being recorded, so faults cannot occur.
 fn read_sized(memory: &Memory, addr: u64, size: u64) -> u64 {
@@ -220,10 +263,22 @@ pub struct Cpu {
     pub console: Vec<u8>,
     /// Markers recorded by the `mark` syscall.
     pub markers: Vec<Marker>,
+    /// Guest traps delivered so far (empty unless the guest armed `mtvec`).
+    pub trap_log: Vec<TrapRecord>,
+    /// RoCC busy-watchdog bound in cycles: if an accelerator response
+    /// claims this many busy cycles or more (including the
+    /// [`crate::ROCC_HANG`] hang sentinel), the core aborts the handshake
+    /// instead of waiting forever.
+    pub rocc_watchdog: u32,
     coprocessor: Box<dyn Coprocessor>,
     scratch_csrs: std::collections::BTreeMap<u16, u64>,
     retire_observer: Option<RetireObserver>,
 }
+
+/// Default RoCC busy-watchdog bound. Far above any legitimate command
+/// (the slowest, `DEC_CNV`, stays under 70 cycles) and far below any
+/// simulation budget.
+pub const DEFAULT_ROCC_WATCHDOG: u32 = 10_000;
 
 impl std::fmt::Debug for Cpu {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -253,6 +308,8 @@ impl Cpu {
             memory: Memory::new(),
             console: Vec::new(),
             markers: Vec::new(),
+            trap_log: Vec::new(),
+            rocc_watchdog: DEFAULT_ROCC_WATCHDOG,
             coprocessor: Box::new(NoCoprocessor),
             scratch_csrs: std::collections::BTreeMap::new(),
             retire_observer: None,
@@ -312,13 +369,49 @@ impl Cpu {
 
     /// Executes one instruction.
     ///
+    /// If the guest has armed M-mode trap delivery (nonzero `mtvec`),
+    /// architectural faults — illegal instructions, access faults,
+    /// accelerator timeouts — are delivered as [`Event::Trapped`] instead
+    /// of erroring: `mepc`/`mcause`/`mtval` are written, the pc moves to
+    /// the handler, and the faulting instruction does not retire. With
+    /// `mtvec` zero (the reset value) faults surface to the host as
+    /// before.
+    ///
     /// # Errors
     ///
     /// Returns [`CpuError`] on fetch/load/store faults, undecodable
-    /// instructions, unknown syscalls, `ebreak`, or coprocessor faults.
+    /// instructions, unknown syscalls, `ebreak`, or coprocessor faults,
+    /// when trap delivery is unarmed or the fault is host-level
+    /// (unknown syscalls never trap).
     pub fn step(&mut self) -> Result<Event, CpuError> {
         let pc = self.pc;
-        if pc % 4 != 0 {
+        match self.step_inner() {
+            Ok(event) => Ok(event),
+            Err(error) => {
+                let mtvec = self.scratch_csrs.get(&csr::MTVEC).copied().unwrap_or(0);
+                let Some((cause, tval)) = trap_cause(&error) else {
+                    return Err(error);
+                };
+                if mtvec == 0 {
+                    return Err(error);
+                }
+                // Precise trap: step_inner leaves no partial architectural
+                // state on any error path, so mepc points at an instruction
+                // that can be re-executed or skipped by the handler.
+                self.scratch_csrs.insert(csr::MEPC, pc);
+                self.scratch_csrs.insert(csr::MCAUSE, cause);
+                self.scratch_csrs.insert(csr::MTVAL, tval);
+                self.pc = mtvec & !0x3;
+                self.cycle += 1;
+                self.trap_log.push(TrapRecord { cause, epc: pc, tval });
+                Ok(Event::Trapped { cause, epc: pc })
+            }
+        }
+    }
+
+    fn step_inner(&mut self) -> Result<Event, CpuError> {
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
             return Err(CpuError::MisalignedPc(pc));
         }
         let word = self
@@ -443,13 +536,7 @@ impl Cpu {
                             (a as i64).wrapping_div(b as i64) as u64
                         }
                     }
-                    OpOp::Divu => {
-                        if b == 0 {
-                            u64::MAX
-                        } else {
-                            a / b
-                        }
-                    }
+                    OpOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
                     OpOp::Rem => {
                         if b == 0 {
                             a
@@ -483,13 +570,7 @@ impl Cpu {
                             (a as i32).wrapping_div(b as i32)
                         }
                     }
-                    Op32Op::Divuw => {
-                        if b == 0 {
-                            -1
-                        } else {
-                            (a / b) as i32
-                        }
-                    }
+                    Op32Op::Divuw => a.checked_div(b).map_or(-1, |q| q as i32),
                     Op32Op::Remw => {
                         if b == 0 {
                             a as i32
@@ -509,6 +590,9 @@ impl Cpu {
             }
             Instr::Fence => {}
             Instr::Ebreak => return Err(CpuError::Breakpoint(pc)),
+            Instr::Mret => {
+                next_pc = self.scratch_csrs.get(&csr::MEPC).copied().unwrap_or(0);
+            }
             Instr::Ecall => {
                 let nr = self.reg(Reg::A7);
                 match nr {
@@ -562,6 +646,16 @@ impl Cpu {
                     },
                 };
                 let resp = self.coprocessor.execute(&cmd, &mut self.memory)?;
+                if resp.busy_cycles >= self.rocc_watchdog {
+                    // The response will never arrive (or not within the
+                    // bound): abort the handshake instead of hanging the
+                    // core, and tell the accelerator so it can recover.
+                    self.coprocessor.watchdog_abort();
+                    return Err(CpuError::RoccTimeout {
+                        funct7: rocc_instr.funct7,
+                        watchdog: self.rocc_watchdog,
+                    });
+                }
                 if rocc_instr.xd {
                     let value = resp.rd_value.ok_or(CpuError::MissingRoccResponse {
                         funct7: rocc_instr.funct7,
@@ -652,6 +746,7 @@ impl Cpu {
         self.instret = 0;
         self.console.clear();
         self.markers.clear();
+        self.trap_log.clear();
         self.scratch_csrs.clear();
         self.coprocessor.reset();
     }
@@ -905,6 +1000,134 @@ mod tests {
         assert_eq!(
             load_rec.mem,
             Some(MemEffect { addr: 0x2000, size: 8, store: false, value: 7 })
+        );
+    }
+
+    #[test]
+    fn armed_mtvec_turns_faults_into_guest_traps() {
+        let mut cpu = Cpu::new();
+        // Handler at 0x2000: just exit with code 77.
+        let handler = [addi(Reg::A0, Reg::ZERO, 77), addi(Reg::A7, Reg::ZERO, 93), Instr::Ecall];
+        load(&mut cpu, 0x2000, &handler);
+        // Main at 0x1000: arm mtvec, then execute an undecodable word.
+        cpu.set_reg(Reg::T0, 0x2000);
+        let main = [Instr::Csr { op: CsrOp::Csrrw, rd: Reg::ZERO, csr: csr::MTVEC, rs1: Reg::T0 }];
+        load(&mut cpu, 0x1000, &main);
+        cpu.memory.write_u32(0x1004, 0xFFFF_FFFF).unwrap();
+        cpu.set_pc(0x1000);
+
+        assert!(matches!(cpu.step(), Ok(Event::Retired(_))));
+        let trapped = cpu.step().unwrap();
+        assert_eq!(
+            trapped,
+            Event::Trapped { cause: riscv_isa::csr::cause::ILLEGAL_INSTRUCTION, epc: 0x1004 }
+        );
+        assert_eq!(cpu.pc(), 0x2000);
+        assert_eq!(cpu.trap_log.len(), 1);
+        assert_eq!(cpu.trap_log[0].epc, 0x1004);
+        // The faulting instruction did not retire.
+        assert_eq!(cpu.instret, 1);
+        assert_eq!(cpu.run(100).unwrap(), 77);
+    }
+
+    #[test]
+    fn mret_returns_to_mepc() {
+        let mut cpu = Cpu::new();
+        // Handler at 0x2000: skip the faulting instruction and return.
+        cpu.set_reg(Reg::T0, 0x2000);
+        let main = [
+            Instr::Csr { op: CsrOp::Csrrw, rd: Reg::ZERO, csr: csr::MTVEC, rs1: Reg::T0 },
+            Instr::Ebreak, // traps (cause 3)
+            addi(Reg::A0, Reg::ZERO, 5),
+            addi(Reg::A7, Reg::ZERO, 93),
+            Instr::Ecall,
+        ];
+        load(&mut cpu, 0x1000, &main);
+        let handler = [
+            // t1 = mepc + 4; mepc = t1; mret
+            Instr::Csr { op: CsrOp::Csrrs, rd: Reg::T1, csr: csr::MEPC, rs1: Reg::ZERO },
+            addi(Reg::T1, Reg::T1, 4),
+            Instr::Csr { op: CsrOp::Csrrw, rd: Reg::ZERO, csr: csr::MEPC, rs1: Reg::T1 },
+            Instr::Mret,
+        ];
+        for (i, instr) in handler.iter().enumerate() {
+            cpu.memory
+                .write_u32(0x2000 + 4 * i as u64, instr.encode().unwrap())
+                .unwrap();
+        }
+        cpu.set_pc(0x1000);
+        assert_eq!(cpu.run(100).unwrap(), 5);
+        assert_eq!(cpu.trap_log.len(), 1);
+        assert_eq!(cpu.trap_log[0].cause, riscv_isa::csr::cause::BREAKPOINT);
+    }
+
+    #[test]
+    fn unknown_syscall_never_traps() {
+        let mut cpu = Cpu::new();
+        cpu.set_reg(Reg::T0, 0x2000);
+        cpu.set_reg(Reg::A7, 999);
+        let main = [
+            Instr::Csr { op: CsrOp::Csrrw, rd: Reg::ZERO, csr: csr::MTVEC, rs1: Reg::T0 },
+            Instr::Ecall,
+        ];
+        load(&mut cpu, 0x1000, &main);
+        cpu.step().unwrap();
+        assert!(matches!(cpu.step(), Err(CpuError::UnknownSyscall(999))));
+    }
+
+    /// A coprocessor whose interface FSM is permanently wedged.
+    struct WedgedCoproc {
+        aborted: std::rc::Rc<std::cell::Cell<bool>>,
+    }
+
+    impl Coprocessor for WedgedCoproc {
+        fn execute(
+            &mut self,
+            _cmd: &RoccCommand,
+            _mem: &mut Memory,
+        ) -> Result<RoccResponse, CpuError> {
+            Ok(RoccResponse::hung())
+        }
+        fn watchdog_abort(&mut self) {
+            self.aborted.set(true);
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn rocc_watchdog_bounds_a_hung_handshake() {
+        use riscv_isa::rocc::{CustomOpcode, RoccInstruction};
+        let aborted = std::rc::Rc::new(std::cell::Cell::new(false));
+        let mut cpu = Cpu::new();
+        cpu.attach_coprocessor(Box::new(WedgedCoproc { aborted: aborted.clone() }));
+        let custom = Instr::Custom(RoccInstruction::reg_reg(
+            CustomOpcode::Custom0,
+            4,
+            Reg::T2,
+            Reg::T0,
+            Reg::T1,
+        ));
+        load(&mut cpu, 0x1000, &[custom]);
+        let result = cpu.step();
+        assert!(
+            matches!(result, Err(CpuError::RoccTimeout { funct7: 4, .. })),
+            "got {result:?}"
+        );
+        assert!(aborted.get(), "watchdog must notify the accelerator");
+        // With mtvec armed the same timeout becomes a guest trap.
+        let aborted2 = std::rc::Rc::new(std::cell::Cell::new(false));
+        let mut cpu = Cpu::new();
+        cpu.attach_coprocessor(Box::new(WedgedCoproc { aborted: aborted2 }));
+        cpu.set_reg(Reg::T0, 0x2000);
+        let main = [
+            Instr::Csr { op: CsrOp::Csrrw, rd: Reg::ZERO, csr: csr::MTVEC, rs1: Reg::T0 },
+            custom,
+        ];
+        load(&mut cpu, 0x1000, &main);
+        cpu.step().unwrap();
+        assert_eq!(
+            cpu.step().unwrap(),
+            Event::Trapped { cause: riscv_isa::csr::cause::ROCC_TIMEOUT, epc: 0x1004 }
         );
     }
 

@@ -27,9 +27,10 @@ pub mod trace;
 
 use std::fmt;
 
-pub use coproc::{Coprocessor, NoCoprocessor, RoccCommand, RoccResponse};
+pub use coproc::{Coprocessor, NoCoprocessor, RoccCommand, RoccResponse, ROCC_HANG};
 pub use cpu::{
-    syscall, Cpu, Event, Marker, MemAccess, MemEffect, Retired, RetireObserver, RetirementRecord,
+    syscall, trap_cause, Cpu, Event, Marker, MemAccess, MemEffect, Retired, RetireObserver,
+    RetirementRecord, TrapRecord, DEFAULT_ROCC_WATCHDOG,
 };
 pub use memory::Memory;
 
@@ -68,6 +69,14 @@ pub enum CpuError {
         /// The function that misbehaved.
         funct7: u8,
     },
+    /// The accelerator did not respond within the core's RoCC busy-watchdog
+    /// bound (a wedged interface FSM).
+    RoccTimeout {
+        /// The function the hung command requested.
+        funct7: u8,
+        /// The watchdog bound that expired, in cycles.
+        watchdog: u32,
+    },
     /// `run` exhausted its instruction budget without the program exiting.
     InstructionLimit(u64),
 }
@@ -91,6 +100,12 @@ impl fmt::Display for CpuError {
             CpuError::RoccProtocol(msg) => write!(f, "rocc protocol violation: {msg}"),
             CpuError::MissingRoccResponse { funct7 } => {
                 write!(f, "accelerator returned no rd value for funct7={funct7} with xd set")
+            }
+            CpuError::RoccTimeout { funct7, watchdog } => {
+                write!(
+                    f,
+                    "accelerator did not respond to funct7={funct7} within {watchdog} cycles"
+                )
             }
             CpuError::InstructionLimit(n) => {
                 write!(f, "program did not exit within {n} instructions")

@@ -66,6 +66,18 @@ pub fn run_traced(
                     mem_addr: retired.mem_access.map(|a| a.addr),
                 });
             }
+            Ok(Event::Trapped { cause, epc }) => {
+                // Trap delivery is a commit-log event, not a retirement.
+                if tail.len() == window {
+                    tail.pop_front();
+                }
+                tail.push_back(TraceEntry {
+                    pc: epc,
+                    disassembly: format!("<trap cause={cause}>"),
+                    write: None,
+                    mem_addr: None,
+                });
+            }
             Err(e) => return Err((e, tail.into_iter().collect())),
         }
     }

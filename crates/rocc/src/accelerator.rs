@@ -8,8 +8,9 @@ use bcd::convert::double_dabble;
 use bcd::{Bcd128, Bcd64};
 use riscv_sim::{Coprocessor, CpuError, Memory, RoccCommand, RoccResponse};
 
-use crate::fsm::InterfaceFsm;
+use crate::fsm::{FsmState, InterfaceFsm};
 use crate::isa::{decode_reg_address, DecimalFunct};
+use crate::status::{AccelCause, AccelStatus};
 
 /// Register-file index that serves as the wide accumulator (`ACC`).
 pub const ACC_INDEX: usize = 15;
@@ -22,7 +23,8 @@ pub fn busy_cycles(funct: DecimalFunct, operand: u64) -> u32 {
         DecimalFunct::Wr
         | DecimalFunct::Rd
         | DecimalFunct::Accum
-        | DecimalFunct::ClrAll => 1,
+        | DecimalFunct::ClrAll
+        | DecimalFunct::Stat => 1,
         DecimalFunct::Ld => 2,
         // One pass through the BCD-CLA.
         DecimalFunct::DecAdd | DecimalFunct::DecAdc => 1,
@@ -63,6 +65,9 @@ pub struct DecimalAccelerator {
     carry: bool,
     cla: BcdCla,
     fsm: InterfaceFsm,
+    /// First latched fault: `(cause, funct7 of the command that faulted)`.
+    /// Sticky until `CLR_ALL` — see [`AccelStatus`] for the wire format.
+    latched: Option<(AccelCause, u8)>,
     command_counts: BTreeMap<DecimalFunct, u64>,
     total_busy: u64,
 }
@@ -92,6 +97,7 @@ impl DecimalAccelerator {
             carry: false,
             cla: BcdCla::new(16),
             fsm: InterfaceFsm::new(),
+            latched: None,
             command_counts: BTreeMap::new(),
             total_busy: 0,
         }
@@ -154,30 +160,91 @@ impl DecimalAccelerator {
         (self.regfile[index] >> (64 * half)) as u64
     }
 
-    fn bcd64_operand(value: u64) -> Result<Bcd64, CpuError> {
-        Bcd64::new(value).map_err(|_| CpuError::RoccProtocol("operand is not valid packed BCD"))
+    fn bcd64_operand(value: u64) -> Result<Bcd64, AccelCause> {
+        Bcd64::new(value).map_err(|_| AccelCause::InvalidBcdOperand)
     }
 
-    fn bcd128_reg(&self, index: usize) -> Result<Bcd128, CpuError> {
-        Bcd128::new(self.regfile[index])
-            .map_err(|_| CpuError::RoccProtocol("register does not hold valid packed BCD"))
+    fn bcd64_reg(&self, index: usize) -> Result<Bcd64, AccelCause> {
+        Bcd64::new(self.regfile[index] as u64).map_err(|_| AccelCause::InvalidBcdRegister)
     }
 
-    fn digit_operand(value: u64) -> Result<u8, CpuError> {
+    fn bcd128_reg(&self, index: usize) -> Result<Bcd128, AccelCause> {
+        Bcd128::new(self.regfile[index]).map_err(|_| AccelCause::InvalidBcdRegister)
+    }
+
+    fn digit_operand(value: u64) -> Result<u8, AccelCause> {
         if value <= 9 {
             Ok(value as u8)
         } else {
-            Err(CpuError::RoccProtocol("digit operand exceeds 9"))
+            Err(AccelCause::DigitRange)
         }
     }
 
+    /// The current status (error flag, first latched cause, offending
+    /// funct7) — what `STAT` returns as [`AccelStatus::word`].
+    #[must_use]
+    pub fn status(&self) -> AccelStatus {
+        AccelStatus {
+            error: self.fsm.state() == FsmState::Error,
+            cause: self.latched.map(|(cause, _)| cause),
+            funct7: self.latched.map_or(0, |(_, funct7)| funct7),
+        }
+    }
+
+    /// Latches `cause` (first fault wins) and moves the FSM to its sticky
+    /// `Error` state.
+    fn latch_error(&mut self, cause: AccelCause, funct7: u8) {
+        if self.latched.is_none() {
+            self.latched = Some((cause, funct7));
+        }
+        if self.fsm.state() != FsmState::Error {
+            self.fsm.enter_error("exec.fault");
+        }
+    }
+
+    /// Clears every architectural register, the carry, and the latched
+    /// fault (the `CLR_ALL` datapath).
+    fn clear_state(&mut self) {
+        self.regfile = [0; 16];
+        self.bin_scratch = 0;
+        self.carry = false;
+        self.latched = None;
+    }
+
+    /// Fault-injection port: flips one bit of a register-file entry
+    /// (`index` mod 16, `bit` mod 128). `regfile[15]` is the accumulator.
+    pub fn inject_register_bit_flip(&mut self, index: usize, bit: u32) {
+        self.regfile[index % 16] ^= 1u128 << (bit % 128);
+    }
+
+    /// Fault-injection port: flips the latched carry.
+    pub fn inject_carry_flip(&mut self) {
+        self.carry = !self.carry;
+    }
+
+    /// Fault-injection port: wedges the interface FSM in a busy state, so
+    /// the next command never gets a response (caught by the core's
+    /// busy-watchdog, not by any in-band check).
+    pub fn inject_fsm_wedge(&mut self) {
+        self.fsm.force_state(FsmState::Execute(DecimalFunct::DecAdd));
+    }
+
+    /// Fault-injection port: forces the FSM into `Error` without latching a
+    /// cause (a bit flip in the state register itself).
+    pub fn inject_fsm_error(&mut self) {
+        self.fsm.force_state(FsmState::Error);
+    }
+
     /// Executes one function directly, without going through instruction
-    /// decode or a memory bus (so `LD` is rejected here).
+    /// decode or a memory bus (so `LD` is rejected here). Datapath faults
+    /// are reported in-band: the response is benign and the status word
+    /// (readable with [`DecimalFunct::Stat`]) carries the cause.
     ///
     /// # Errors
     ///
-    /// Returns [`CpuError::UnknownRoccFunction`] or
-    /// [`CpuError::RoccProtocol`] on malformed operands.
+    /// Returns [`CpuError::RoccProtocol`] only for `LD`, which needs the
+    /// memory interface this entry point does not have — a host-side API
+    /// misuse, not a guest-visible fault.
     pub fn command(
         &mut self,
         funct: DecimalFunct,
@@ -190,7 +257,12 @@ impl DecimalAccelerator {
         if funct == DecimalFunct::Ld {
             return Err(CpuError::RoccProtocol("LD requires the memory interface"));
         }
-        self.dispatch(funct, rs1_value, rs2_value, rd_field, rs1_field, rs2_field, None)
+        Ok(self.dispatch(funct, rs1_value, rs2_value, rd_field, rs1_field, rs2_field, None))
+    }
+
+    fn account(&mut self, funct: DecimalFunct, busy: u32) {
+        self.total_busy += u64::from(busy);
+        *self.command_counts.entry(funct).or_insert(0) += 1;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -203,7 +275,82 @@ impl DecimalAccelerator {
         rs1_field: u8,
         rs2_field: u8,
         mem: Option<&mut Memory>,
-    ) -> Result<RoccResponse, CpuError> {
+    ) -> RoccResponse {
+        match self.fsm.state() {
+            FsmState::Idle => {}
+            FsmState::Error => {
+                // Sticky error: only STAT and CLR_ALL are serviced; every
+                // other command is ignored with a benign response so the
+                // core's handshake still completes.
+                return match funct {
+                    DecimalFunct::Stat => {
+                        self.account(funct, 1);
+                        RoccResponse {
+                            rd_value: Some(self.status().word()),
+                            busy_cycles: 1,
+                            mem_accesses: 0,
+                        }
+                    }
+                    DecimalFunct::ClrAll => {
+                        self.clear_state();
+                        self.fsm.clear_error();
+                        self.account(funct, 1);
+                        RoccResponse {
+                            rd_value: None,
+                            busy_cycles: 1,
+                            mem_accesses: 0,
+                        }
+                    }
+                    _ => RoccResponse {
+                        rd_value: Some(0),
+                        busy_cycles: 1,
+                        mem_accesses: 0,
+                    },
+                };
+            }
+            // Wedged mid-command (reachable only through fault injection):
+            // the response never arrives; the core's watchdog must act.
+            _ => return RoccResponse::hung(),
+        }
+
+        match self.execute_unit(funct, rs1_value, rs2_value, rd_field, rs1_field, rs2_field, mem) {
+            Ok((rd_value, mem_accesses)) => {
+                let busy = busy_cycles(funct, rs1_value);
+                self.account(funct, busy);
+                self.fsm.run_command(funct, rd_value.is_some());
+                RoccResponse {
+                    rd_value,
+                    busy_cycles: busy,
+                    mem_accesses,
+                }
+            }
+            Err(cause) => {
+                self.account(funct, 1);
+                self.latch_error(cause, funct.funct7());
+                // The command is dropped; a benign zero keeps an `xd`
+                // handshake alive so the fault stays in-band.
+                RoccResponse {
+                    rd_value: Some(0),
+                    busy_cycles: 1,
+                    mem_accesses: 0,
+                }
+            }
+        }
+    }
+
+    /// The execution unit proper: performs `funct` or reports the first
+    /// datapath fault without touching any architectural state.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_unit(
+        &mut self,
+        funct: DecimalFunct,
+        rs1_value: u64,
+        rs2_value: u64,
+        rd_field: u8,
+        rs1_field: u8,
+        rs2_field: u8,
+        mem: Option<&mut Memory>,
+    ) -> Result<(Option<u64>, u32), AccelCause> {
         let mut rd_value = None;
         let mut mem_accesses = 0;
 
@@ -215,8 +362,8 @@ impl DecimalAccelerator {
                 rd_value = Some(self.read_half(rs1_field));
             }
             DecimalFunct::Ld => {
-                let mem = mem.ok_or(CpuError::RoccProtocol("LD requires the memory interface"))?;
-                let data = mem.read_u64(rs1_value)?;
+                let mem = mem.ok_or(AccelCause::ProtocolViolation)?;
+                let data = mem.read_u64(rs1_value).map_err(|_| AccelCause::MemoryFault)?;
                 self.write_half(rs2_field, data);
                 mem_accesses = 1;
             }
@@ -233,9 +380,7 @@ impl DecimalAccelerator {
                 rd_value = Some(sum.raw());
             }
             DecimalFunct::ClrAll => {
-                self.regfile = [0; 16];
-                self.bin_scratch = 0;
-                self.carry = false;
+                self.clear_state();
             }
             DecimalFunct::DecCnv => {
                 let hw = double_dabble(rs1_value);
@@ -245,8 +390,8 @@ impl DecimalAccelerator {
             DecimalFunct::DecMul => {
                 let (i1, _) = decode_reg_address(rs1_field);
                 let (i2, _) = decode_reg_address(rs2_field);
-                let a = Self::bcd64_operand(self.regfile[i1] as u64)?;
-                let b = Self::bcd64_operand(self.regfile[i2] as u64)?;
+                let a = self.bcd64_reg(i1)?;
+                let b = self.bcd64_reg(i2)?;
                 let product = a.full_mul(b);
                 self.regfile[ACC_INDEX] = product.raw();
                 rd_value = Some(product.raw() as u64);
@@ -271,35 +416,35 @@ impl DecimalAccelerator {
             }
             DecimalFunct::DecMulD => {
                 let digit = Self::digit_operand(rs1_value)?;
-                let x = Self::bcd64_operand(self.regfile[1] as u64)?;
+                let x = self.bcd64_reg(1)?;
                 let acc = self.bcd128_reg(ACC_INDEX)?;
                 let (sum, carry) = acc.shl_digits(1).add(x.mul_digit(digit));
                 self.carry = carry;
                 self.regfile[ACC_INDEX] = sum.raw();
             }
+            DecimalFunct::Stat => {
+                rd_value = Some(self.status().word());
+            }
         }
 
-        let busy = busy_cycles(funct, rs1_value);
-        self.total_busy += u64::from(busy);
-        *self.command_counts.entry(funct).or_insert(0) += 1;
-        self.fsm.run_command(funct, rd_value.is_some());
-        Ok(RoccResponse {
-            rd_value,
-            busy_cycles: busy,
-            mem_accesses,
-        })
+        Ok((rd_value, mem_accesses))
     }
 }
 
 impl Coprocessor for DecimalAccelerator {
     fn execute(&mut self, cmd: &RoccCommand, mem: &mut Memory) -> Result<RoccResponse, CpuError> {
         let instr = cmd.instruction;
-        let funct = DecimalFunct::from_funct7(instr.funct7).ok_or(
-            CpuError::UnknownRoccFunction {
-                funct7: instr.funct7,
-            },
-        )?;
-        let resp = self.dispatch(
+        let Some(funct) = DecimalFunct::from_funct7(instr.funct7) else {
+            // Unimplemented functions are a guest fault, reported in-band
+            // like any other: latch the cause, answer benignly.
+            self.latch_error(AccelCause::UnknownFunction, instr.funct7);
+            return Ok(RoccResponse {
+                rd_value: instr.xd.then_some(0),
+                busy_cycles: 1,
+                mem_accesses: 0,
+            });
+        };
+        let mut resp = self.dispatch(
             funct,
             cmd.rs1_value,
             cmd.rs2_value,
@@ -307,22 +452,32 @@ impl Coprocessor for DecimalAccelerator {
             instr.rs1.number(),
             instr.rs2.number(),
             Some(mem),
-        )?;
+        );
         // When xs-flags are clear, the field numbers double as accelerator
         // addresses; when set, the values travelled in rs1_value/rs2_value —
-        // dispatch already received both forms.
-        if instr.xd && resp.rd_value.is_none() {
-            return Err(CpuError::MissingRoccResponse {
-                funct7: instr.funct7,
-            });
+        // dispatch already received both forms. An `xd` command whose
+        // function produces no value is a protocol violation; it, too,
+        // stays in-band (unless the FSM is wedged and nothing responds).
+        if instr.xd && resp.rd_value.is_none() && !resp.is_hung() {
+            self.latch_error(AccelCause::ProtocolViolation, instr.funct7);
+            resp.rd_value = Some(0);
         }
         Ok(resp)
     }
 
+    fn watchdog_abort(&mut self) {
+        // The core gave up on a wedged handshake: force the FSM into the
+        // recoverable Error state and record the abort so STAT sees it.
+        if self.latched.is_none() {
+            self.latched = Some((AccelCause::WatchdogAbort, 0));
+        }
+        if self.fsm.state() != FsmState::Error {
+            self.fsm.enter_error("watchdog");
+        }
+    }
+
     fn reset(&mut self) {
-        self.regfile = [0; 16];
-        self.bin_scratch = 0;
-        self.carry = false;
+        self.clear_state();
         self.fsm.reset();
     }
 }
@@ -350,12 +505,90 @@ mod tests {
     }
 
     #[test]
-    fn dec_add_rejects_invalid_bcd() {
+    fn dec_add_reports_invalid_bcd_in_band() {
         let mut a = acc();
-        assert!(matches!(
-            a.command(DecimalFunct::DecAdd, 0xA, 0x1, 0, 0, 0),
-            Err(CpuError::RoccProtocol(_))
-        ));
+        let resp = a.command(DecimalFunct::DecAdd, 0xA, 0x1, 0, 0, 0).unwrap();
+        // Benign response, fault latched, FSM sticky in Error.
+        assert_eq!(resp.rd_value, Some(0));
+        let status = a.status();
+        assert!(status.error);
+        assert_eq!(status.cause, Some(AccelCause::InvalidBcdOperand));
+        assert_eq!(status.funct7, DecimalFunct::DecAdd.funct7());
+        assert_eq!(a.fsm().state(), FsmState::Error);
+        assert!(!a.carry(), "faulting command must not touch the carry");
+    }
+
+    #[test]
+    fn stat_reads_the_status_word_and_clr_all_recovers() {
+        let mut a = acc();
+        let clean = a.command(DecimalFunct::Stat, 0, 0, 0, 0, 0).unwrap();
+        assert_eq!(clean.rd_value, Some(0));
+
+        a.command(DecimalFunct::DecAdd, 0xA, 0x1, 0, 0, 0).unwrap();
+        let stat = a.command(DecimalFunct::Stat, 0, 0, 0, 0, 0).unwrap();
+        let word = stat.rd_value.unwrap();
+        assert_ne!(word, 0);
+        assert_eq!(AccelStatus::decode(word), a.status());
+
+        // Commands other than STAT/CLR_ALL are ignored while in Error.
+        let ignored = a.command(DecimalFunct::DecAdd, 0x1, 0x1, 0, 0, 0).unwrap();
+        assert_eq!(ignored.rd_value, Some(0));
+        assert!(a.status().error, "error stays sticky");
+
+        a.command(DecimalFunct::ClrAll, 0, 0, 0, 0, 0).unwrap();
+        assert!(a.status().is_clear());
+        assert_eq!(a.fsm().state(), FsmState::Idle);
+        let sum = a.command(DecimalFunct::DecAdd, 0x2, 0x3, 0, 0, 0).unwrap();
+        assert_eq!(sum.rd_value, Some(0x5), "recovered accelerator computes again");
+    }
+
+    #[test]
+    fn first_fault_wins_the_cause_field() {
+        let mut a = acc();
+        a.command(DecimalFunct::DecAdd, 0xA, 0x1, 0, 0, 0).unwrap();
+        a.command(DecimalFunct::DecAccum, 10, 0, 0, 0, 0).unwrap();
+        assert_eq!(a.status().cause, Some(AccelCause::InvalidBcdOperand));
+    }
+
+    #[test]
+    fn wedged_fsm_never_responds() {
+        let mut a = acc();
+        a.inject_fsm_wedge();
+        let resp = a.command(DecimalFunct::DecAdd, 0x1, 0x1, 0, 0, 0).unwrap();
+        assert!(resp.is_hung());
+    }
+
+    #[test]
+    fn watchdog_abort_lands_in_recoverable_error() {
+        let mut a = acc();
+        a.inject_fsm_wedge();
+        a.watchdog_abort();
+        let status = a.status();
+        assert!(status.error);
+        assert_eq!(status.cause, Some(AccelCause::WatchdogAbort));
+        a.command(DecimalFunct::ClrAll, 0, 0, 0, 0, 0).unwrap();
+        assert!(a.status().is_clear());
+    }
+
+    #[test]
+    fn injected_fsm_error_is_visible_without_a_cause() {
+        let mut a = acc();
+        a.inject_fsm_error();
+        let stat = a.command(DecimalFunct::Stat, 0, 0, 0, 0, 0).unwrap();
+        let status = AccelStatus::decode(stat.rd_value.unwrap());
+        assert!(status.error);
+        assert_eq!(status.cause, None);
+        assert_ne!(stat.rd_value, Some(0));
+    }
+
+    #[test]
+    fn register_bit_flip_port_flips_one_bit() {
+        let mut a = acc();
+        a.command(DecimalFunct::Wr, 0x5, 0, 0, 0, 3).unwrap();
+        a.inject_register_bit_flip(3, 1);
+        assert_eq!(a.register(3), 0x7);
+        a.inject_carry_flip();
+        assert!(a.carry());
     }
 
     #[test]
@@ -430,9 +663,11 @@ mod tests {
     }
 
     #[test]
-    fn dec_accum_rejects_wide_digit() {
+    fn dec_accum_reports_wide_digit_in_band() {
         let mut a = acc();
-        assert!(a.command(DecimalFunct::DecAccum, 10, 0, 0, 0, 0).is_err());
+        a.command(DecimalFunct::DecAccum, 10, 0, 0, 0, 0).unwrap();
+        assert_eq!(a.status().cause, Some(AccelCause::DigitRange));
+        assert_eq!(a.acc(), 0, "faulting command must not touch the accumulator");
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub enum FsmState {
     RespondRead,
     /// Acknowledging a write-style command.
     RespondWrite,
+    /// Sticky error state (this framework's Fig. 5 extension): entered when
+    /// the execution unit reports a fault, left only on `CLR_ALL`. `STAT`
+    /// is serviced without leaving it; every other command is ignored.
+    Error,
 }
 
 impl fmt::Display for FsmState {
@@ -46,6 +50,7 @@ impl fmt::Display for FsmState {
             FsmState::Execute(func) => write!(f, "Execute({func})"),
             FsmState::RespondRead => write!(f, "ReadResp"),
             FsmState::RespondWrite => write!(f, "WriteResp"),
+            FsmState::Error => write!(f, "Error"),
         }
     }
 }
@@ -122,7 +127,7 @@ impl InterfaceFsm {
     pub fn run_command(&mut self, funct: DecimalFunct, responds: bool) {
         debug_assert_eq!(self.state, FsmState::Idle, "command while busy");
         let busy = match funct {
-            DecimalFunct::Rd => FsmState::Read,
+            DecimalFunct::Rd | DecimalFunct::Stat => FsmState::Read,
             DecimalFunct::Wr | DecimalFunct::Ld => FsmState::Write,
             DecimalFunct::ClrAll => FsmState::Clear,
             DecimalFunct::Accum => FsmState::Accum,
@@ -136,6 +141,27 @@ impl InterfaceFsm {
             self.goto(FsmState::RespondWrite, "ready");
             self.goto(FsmState::Idle, "cmd_res");
         }
+    }
+
+    /// Enters the sticky `Error` state (the execution unit reported a
+    /// fault, or the core's watchdog forced an abort).
+    pub fn enter_error(&mut self, cause: &'static str) {
+        self.goto(FsmState::Error, cause);
+    }
+
+    /// Leaves `Error` for `Idle` through the `Clear` state (the `CLR_ALL`
+    /// recovery path).
+    pub fn clear_error(&mut self) {
+        self.goto(FsmState::Clear, "clr_all");
+        self.goto(FsmState::RespondWrite, "ready");
+        self.goto(FsmState::Idle, "cmd_res");
+    }
+
+    /// Fault-injection port: forces an arbitrary state, recording the
+    /// transition with an `inject` cause. Models a bit flip in the state
+    /// register itself.
+    pub fn force_state(&mut self, state: FsmState) {
+        self.goto(state, "inject");
     }
 
     /// Resets to `Idle` (trace preserved).
@@ -184,6 +210,35 @@ mod tests {
             fsm.run_command(funct, funct == DecimalFunct::Rd);
             assert_eq!(fsm.state(), FsmState::Idle, "{funct}");
         }
+    }
+
+    #[test]
+    fn error_state_is_sticky_until_cleared() {
+        let mut fsm = InterfaceFsm::new();
+        fsm.set_tracing(true);
+        fsm.enter_error("exec.fault");
+        assert_eq!(fsm.state(), FsmState::Error);
+        fsm.clear_error();
+        assert_eq!(fsm.state(), FsmState::Idle);
+        let states: Vec<FsmState> = fsm.trace().iter().map(|t| t.to).collect();
+        assert_eq!(
+            states,
+            vec![
+                FsmState::Error,
+                FsmState::Clear,
+                FsmState::RespondWrite,
+                FsmState::Idle
+            ]
+        );
+    }
+
+    #[test]
+    fn forced_state_records_injection() {
+        let mut fsm = InterfaceFsm::new();
+        fsm.set_tracing(true);
+        fsm.force_state(FsmState::Execute(DecimalFunct::DecAdd));
+        assert_eq!(fsm.state(), FsmState::Execute(DecimalFunct::DecAdd));
+        assert_eq!(fsm.trace()[0].cause, "inject");
     }
 
     #[test]

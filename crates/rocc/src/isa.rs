@@ -51,11 +51,15 @@ pub enum DecimalFunct {
     /// Digit multiply-accumulate: `acc = acc × 10 + reg[1] × digit` with the
     /// digit in core `rs1`. The Method-3 inner loop (extension).
     DecMulD = 0b000_1011,
+    /// Read the accelerator's status/cause word into the core `rd`
+    /// (extension; serviced even in the sticky `Error` state — see
+    /// [`crate::AccelStatus`] for the wire format).
+    Stat = 0b000_1100,
 }
 
 impl DecimalFunct {
     /// All functions, in funct7 order.
-    pub const ALL: [DecimalFunct; 12] = [
+    pub const ALL: [DecimalFunct; 13] = [
         DecimalFunct::Wr,
         DecimalFunct::Rd,
         DecimalFunct::Ld,
@@ -68,6 +72,7 @@ impl DecimalFunct {
         DecimalFunct::DecAdc,
         DecimalFunct::DecAddR,
         DecimalFunct::DecMulD,
+        DecimalFunct::Stat,
     ];
 
     /// The funct7 encoding.
@@ -100,6 +105,7 @@ impl DecimalFunct {
             DecimalFunct::DecAdc => "DEC_ADC",
             DecimalFunct::DecAddR => "DEC_ADD_R",
             DecimalFunct::DecMulD => "DEC_MULD",
+            DecimalFunct::Stat => "STAT",
         }
     }
 
@@ -119,6 +125,7 @@ impl DecimalFunct {
             DecimalFunct::DecAdc => "Add two BCD numbers with the latched carry-in",
             DecimalFunct::DecAddR => "Wide BCD add of two internal registers",
             DecimalFunct::DecMulD => "Multiply internal register by a digit and accumulate",
+            DecimalFunct::Stat => "Read the accelerator status/cause word",
         }
     }
 
@@ -186,6 +193,7 @@ mod tests {
         assert!(DecimalFunct::DecAdd.in_paper_table2());
         assert!(DecimalFunct::DecAccum.in_paper_table2());
         assert!(!DecimalFunct::DecAdc.in_paper_table2());
+        assert!(!DecimalFunct::Stat.in_paper_table2());
     }
 
     #[test]

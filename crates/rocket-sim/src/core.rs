@@ -27,6 +27,12 @@ pub struct TimingConfig {
     /// command has `xd` set (the RoCC interface "imposes a latency overhead
     /// during data exchange", paper §V).
     pub rocc_resp_latency: u32,
+    /// RoCC busy-watchdog bound: a command whose accelerator busy time
+    /// reaches this many cycles is aborted and reported as
+    /// [`CpuError::RoccTimeout`] (trappable when `mtvec` is armed).
+    pub rocc_watchdog: u32,
+    /// Pipeline flush cost of delivering a trap to the `mtvec` handler.
+    pub trap_penalty: u32,
     /// Seed for the caches' random-replacement generators.
     pub seed: u64,
 }
@@ -42,6 +48,8 @@ impl Default for TimingConfig {
             div_latency: 34,
             branch_penalty: 2,
             rocc_resp_latency: 2,
+            rocc_watchdog: riscv_sim::DEFAULT_ROCC_WATCHDOG,
+            trap_penalty: 3,
             seed: 0x5EED_0001,
         }
     }
@@ -123,8 +131,10 @@ impl RocketSim {
     /// Builds a core with the given timing parameters.
     #[must_use]
     pub fn new(config: TimingConfig) -> Self {
+        let mut cpu = riscv_sim::Cpu::new();
+        cpu.rocc_watchdog = config.rocc_watchdog;
         RocketSim {
-            cpu: riscv_sim::Cpu::new(),
+            cpu,
             icache: Cache::new(config.icache, config.seed ^ 0x1CAC4E),
             dcache: Cache::new(config.dcache, config.seed ^ 0xDCAC4E),
             config,
@@ -184,9 +194,17 @@ impl RocketSim {
                 self.stats.sw_cycles += 1;
                 return Ok(event);
             }
+            Event::Trapped { .. } => {
+                // Trap delivery flushes the pipeline but retires nothing.
+                let cost = 1 + u64::from(self.config.trap_penalty);
+                self.cycle += cost;
+                self.stats.cycles = self.cycle;
+                self.stats.sw_cycles += cost;
+                return Ok(event);
+            }
             Event::Retired(r) => r,
         };
-        let cost = self.charge(&retired);
+        let cost = self.charge(&retired)?;
         self.cycle += cost.total;
         self.stats.cycles = self.cycle;
         self.stats.instret += 1;
@@ -195,7 +213,7 @@ impl RocketSim {
         Ok(event)
     }
 
-    fn charge(&mut self, retired: &Retired) -> Cost {
+    fn charge(&mut self, retired: &Retired) -> Result<Cost, CpuError> {
         let mut total: u64 = 1; // issue
         let mut hw: u64 = 0;
 
@@ -250,7 +268,9 @@ impl RocketSim {
             }
             Instr::Custom(instr) => {
                 self.stats.rocc_instructions += 1;
-                let resp = retired.rocc.expect("custom instruction carries a response");
+                let resp = retired
+                    .rocc
+                    .ok_or(CpuError::RoccProtocol("retired custom carried no response"))?;
                 let mut rocc_cost = u64::from(resp.busy_cycles);
                 rocc_cost += u64::from(resp.mem_accesses); // RoCC mem port occupancy
                 if instr.xd {
@@ -269,7 +289,7 @@ impl RocketSim {
             total += u64::from(self.config.branch_penalty);
         }
 
-        Cost { total, hw }
+        Ok(Cost { total, hw })
     }
 
     /// Runs to exit or `max_instructions`.

@@ -59,13 +59,12 @@ pub fn driver_source(layout: DriverLayout) -> String {
     let count = layout.count;
     let reps = layout.repetitions.max(1);
     let per_sample = if layout.per_sample_marks {
-        format!(
-            "    mv   a0, s4
+        "    mv   a0, s4
     li   a7, 0x700
     ecall                            # mark: sample boundary
     addi s4, s4, 1
 "
-        )
+        .to_string()
     } else {
         String::new()
     };

@@ -186,7 +186,7 @@ pub fn generate(config: &TestConfig) -> Vec<TestVector> {
     // Deterministic round-robin by weight keeps exact class proportions.
     let mut schedule: Vec<CaseClass> = Vec::with_capacity(total_weight as usize);
     for (class, weight) in &config.class_mix {
-        schedule.extend(std::iter::repeat(*class).take(*weight as usize));
+        schedule.extend(std::iter::repeat_n(*class, *weight as usize));
     }
     (0..config.count)
         .map(|i| {

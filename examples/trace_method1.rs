@@ -59,14 +59,13 @@ fn main() {
         }
         for (i, (hi, lo)) in mm.iter().enumerate() {
             println!(
-                "  {}X = {}{}",
+                "  {}X = {}{lo:016x}",
                 i,
                 if *hi != 0 {
                     format!("{:x}", Bcd64::from_raw_unchecked(*hi))
                 } else {
                     String::new()
                 },
-                format!("{:016x}", lo),
             );
         }
 

@@ -21,37 +21,37 @@ fn run_with_accel(source: &str) -> Result<i64, CpuError> {
 }
 
 #[test]
-fn invalid_bcd_operand_to_dec_add_faults() {
+fn invalid_bcd_operand_to_dec_add_latches_in_band_status() {
+    // The bad operand no longer kills the run: the command is dropped, the
+    // fault latches, and STAT (funct7=12) reads it back in-band.
     let result = run_with_accel(
         "
         start:
             li a0, 0xA           # not a decimal digit
             li a1, 0x1
             custom0 4, a2, a1, a0, 1, 1, 1
+            custom0 12, a0, zero, zero, 1, 0, 0
             li a7, 93
             ecall
         ",
     );
-    assert!(
-        matches!(result, Err(CpuError::RoccProtocol(_))),
-        "got {result:?}"
-    );
+    // funct7=4 in bits 15:8, error flag bit 7, cause 1 (InvalidBcdOperand).
+    assert_eq!(result.unwrap(), (4 << 8) | (1 << 7) | 1);
 }
 
 #[test]
-fn unknown_rocc_function_faults() {
+fn unknown_rocc_function_latches_in_band_status() {
     let result = run_with_accel(
         "
         start:
             custom0 99, a0, a1, a2, 1, 1, 1
+            custom0 12, a0, zero, zero, 1, 0, 0
             li a7, 93
             ecall
         ",
     );
-    assert!(
-        matches!(result, Err(CpuError::UnknownRoccFunction { funct7: 99 })),
-        "got {result:?}"
-    );
+    // funct7=99 in bits 15:8, error flag bit 7, cause 4 (UnknownFunction).
+    assert_eq!(result.unwrap(), (99 << 8) | (1 << 7) | 4);
 }
 
 #[test]
@@ -181,10 +181,10 @@ fn lockstep_catches_a_wrong_digit_accelerator_at_the_custom0_pc() {
 #[test]
 fn lockstep_catches_a_stuck_interface_fsm_at_the_first_wedged_command() {
     // An interface FSM that wedges after one command: the second DEC_ADD
-    // replays stale data on the faulty side, and the comparator reports
-    // exactly that retirement.
+    // never completes its handshake on the faulty side. The busy-watchdog
+    // bounds the hang and the comparator reports the asymmetric fault.
     use decimalarith::lockstep::inject::StuckFsmAccelerator;
-    use decimalarith::lockstep::{run_lockstep, LockstepOptions};
+    use decimalarith::lockstep::{run_lockstep, LockstepOptions, StepOutcome};
     use decimalarith::riscv_asm::TEXT_BASE;
 
     let source = "
@@ -204,33 +204,55 @@ fn lockstep_catches_a_stuck_interface_fsm_at_the_first_wedged_command() {
     let divergence = outcome.divergence().expect("stuck FSM must be caught");
     assert_eq!(divergence.pc, TEXT_BASE + 4 * 4, "{divergence}");
     assert!(
-        divergence.reg_delta.iter().any(|d| d.reg == Reg::T3),
+        matches!(
+            divergence.b,
+            StepOutcome::Fault(CpuError::RoccTimeout { funct7: 4, .. })
+        ),
         "{divergence}"
     );
-    // Good side: BCD 15 + 27 = 42. Stuck side: replays the first sum, 22.
+    // Good side completed the sum; the wedged side never wrote t3.
     assert!(
         divergence
             .reg_delta
             .iter()
-            .any(|d| d.a_value == 0x42 && d.b_value == 0x22),
+            .any(|d| d.reg == Reg::T3 && d.a_value == 0x42 && d.b_value == 0),
         "{divergence}"
     );
 }
 
 #[test]
-fn ld_through_rocc_memory_interface_faults_on_unmapped() {
-    // LD (funct7=2) reads memory at the address in rs1.
+fn ld_through_rocc_memory_interface_latches_memory_fault() {
+    // LD (funct7=2) reads memory at the address in rs1; an unmapped address
+    // latches MemoryFault (cause 5) instead of killing the run.
     let result = run_with_accel(
         "
         start:
             li a0, 0x666000
             custom0 2, zero, a0, x1, 0, 1, 0
+            custom0 12, a0, zero, zero, 1, 0, 0
             li a7, 93
             ecall
         ",
     );
-    assert!(
-        matches!(result, Err(CpuError::UnmappedAddress(0x66_6000))),
-        "got {result:?}"
+    assert_eq!(result.unwrap(), (2 << 8) | (1 << 7) | 5);
+}
+
+#[test]
+fn clr_all_recovers_a_latched_fault_end_to_end() {
+    // After CLR_ALL the accelerator computes again: 15 + 27 = 42 (BCD).
+    let result = run_with_accel(
+        "
+        start:
+            li a0, 0xA
+            li a1, 0x1
+            custom0 4, a2, a1, a0, 1, 1, 1     # latches InvalidBcdOperand
+            custom0 5, zero, zero, zero, 0, 0, 0  # CLR_ALL clears it
+            li t0, 0x15
+            li t1, 0x27
+            custom0 4, a0, t0, t1, 1, 1, 1
+            li a7, 93
+            ecall
+        ",
     );
+    assert_eq!(result.unwrap(), 0x42);
 }
