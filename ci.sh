@@ -15,6 +15,13 @@ cargo test -q
 echo "== lint: clippy (warnings are errors) =="
 cargo clippy -q --all-targets -- -D warnings
 
+echo "== static analysis: rvlint over every kernel guest =="
+# Lints every co-design kernel guest (CFG/dataflow + RoCC-protocol
+# typestate + BCD operand checks) across generated vector databases of
+# increasing size. Exits nonzero on any Error-severity finding. The
+# broken-fixture suite (tests/rvlint_fixtures.rs) already ran in tier-1.
+cargo run --release -p decimal-bench --bin rvlint -- --seed 2019
+
 echo "== differential verification (bounded) =="
 # Conformance on a CI-sized database slice, a 200-program fuzz run, and
 # the RoCC command differential — all on the paper's seed. The full

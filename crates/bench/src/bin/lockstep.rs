@@ -154,7 +154,7 @@ fn faults(options: &Options) -> u32 {
         ..TestConfig::default()
     });
     let mut failures = 0;
-    for kind in [KernelKind::Method1, KernelKind::Method1Ft] {
+    for kind in KernelKind::FAULT_CAMPAIGN {
         let guest = codesign::framework::build_guest(kind, &vectors, 1)
             .unwrap_or_else(|e| panic!("{kind}: {e}"));
         let config = CampaignConfig {

@@ -162,3 +162,21 @@ fn regression_full_width_discard_shift() {
         );
     }
 }
+
+#[test]
+fn kernel_slugs_round_trip_and_are_unique() {
+    let mut seen = std::collections::BTreeSet::new();
+    for kind in KernelKind::ALL {
+        let slug = kind.slug();
+        assert!(seen.insert(slug), "duplicate slug {slug:?}");
+        assert_eq!(KernelKind::from_slug(slug), Some(kind));
+        assert!(
+            slug.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "slug {slug:?} is not a clean identifier"
+        );
+    }
+    assert_eq!(KernelKind::from_slug("no_such_kernel"), None);
+    for kind in KernelKind::FAULT_CAMPAIGN {
+        assert!(KernelKind::ALL.contains(&kind));
+    }
+}

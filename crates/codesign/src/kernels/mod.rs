@@ -74,6 +74,34 @@ impl KernelKind {
         KernelKind::Method4,
     ];
 
+    /// The kernels the fault-injection campaign exercises: plain Method-1
+    /// (demonstrating silent corruption) and its fault-tolerant variant
+    /// (demonstrating zero silent corruption). This is the single registry
+    /// the lockstep CLI and tests consume — don't re-enumerate the pair.
+    pub const FAULT_CAMPAIGN: [KernelKind; 2] = [KernelKind::Method1, KernelKind::Method1Ft];
+
+    /// Stable machine-readable identifier, used by CLI arguments
+    /// (`lockstep`, `rvlint`) and machine-readable reports.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            KernelKind::Software => "software",
+            KernelKind::SoftwareBid => "software_bid",
+            KernelKind::Method1 => "method1",
+            KernelKind::Method1Dummy => "method1_dummy",
+            KernelKind::Method1Ft => "method1_ft",
+            KernelKind::Method2 => "method2",
+            KernelKind::Method3 => "method3",
+            KernelKind::Method4 => "method4",
+        }
+    }
+
+    /// Looks a kernel up by its [`KernelKind::slug`].
+    #[must_use]
+    pub fn from_slug(slug: &str) -> Option<KernelKind> {
+        KernelKind::ALL.into_iter().find(|k| k.slug() == slug)
+    }
+
     /// Display name.
     #[must_use]
     pub fn name(self) -> &'static str {

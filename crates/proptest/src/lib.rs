@@ -267,6 +267,31 @@ pub mod strategy {
     tuple_strategies!(A, B, C, D, E, F, G, H);
 }
 
+/// `proptest::sample` — uniform selection from a fixed set of values.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The result of [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.0.len() as u128) as usize;
+            self.0[i].clone()
+        }
+    }
+
+    /// Uniformly selects one of `values` (must be non-empty).
+    #[must_use]
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select() needs at least one value");
+        Select(values)
+    }
+}
+
 /// `any::<T>()` — the canonical strategy for a type.
 pub mod arbitrary {
     use crate::strategy::Strategy;

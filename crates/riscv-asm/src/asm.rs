@@ -9,18 +9,55 @@ use riscv_isa::{csr, Reg};
 
 use crate::{DATA_BASE, TEXT_BASE};
 
-/// Assembly error with the 1-based source line that caused it.
+/// Assembly error with the 1-based source line that caused it and, when
+/// available, the offending source text itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based source line number.
     pub line: usize,
     /// Human-readable description.
     pub message: String,
+    /// The trimmed source text of the offending line, when available.
+    pub source: Option<String>,
+}
+
+impl AsmError {
+    /// Builds an error without source context.
+    #[must_use]
+    pub fn new(line: usize, message: String) -> AsmError {
+        AsmError {
+            line,
+            message,
+            source: None,
+        }
+    }
+
+    /// Attaches the offending line's text, looked up from the full source.
+    #[must_use]
+    pub fn with_source_context(mut self, source: &str) -> AsmError {
+        self.source = source
+            .lines()
+            .nth(self.line.saturating_sub(1))
+            .map(|text| text.trim().to_string())
+            .filter(|text| !text.is_empty());
+        self
+    }
+
+    /// A `file:line`-style location string (the assembler has no file
+    /// names, so the "file" is the conventional `<asm>`).
+    #[must_use]
+    pub fn location(&self) -> String {
+        format!("<asm>:{}", self.line)
+    }
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if let Some(source) = &self.source {
+            write!(f, "\n  {} | {}", self.line, source)?;
+        }
+        Ok(())
     }
 }
 
@@ -64,9 +101,53 @@ pub struct Program {
     pub data: Segment,
     /// All defined symbols.
     pub symbols: BTreeMap<String, u64>,
+    /// 1-based source line per text word: `line_map[i]` is the line that
+    /// produced the word at `text.base + 4*i` (0 for alignment padding).
+    pub line_map: Vec<u32>,
 }
 
 impl Program {
+    /// The 1-based source line that produced the instruction at `pc`, if
+    /// `pc` lies inside the text segment and isn't alignment padding.
+    #[must_use]
+    pub fn source_line(&self, pc: u64) -> Option<u32> {
+        let offset = pc.checked_sub(self.text.base)?;
+        let line = *self.line_map.get((offset / 4) as usize)?;
+        (line != 0).then_some(line)
+    }
+
+    /// The nearest symbol at or below `pc` in the text segment, with the
+    /// byte offset from it: the conventional `name+0x10` anchor.
+    #[must_use]
+    pub fn nearest_symbol(&self, pc: u64) -> Option<(&str, u64)> {
+        let text_end = self.text.base + self.text.data.len() as u64;
+        if pc < self.text.base || pc >= text_end {
+            return None;
+        }
+        self.symbols
+            .iter()
+            .filter(|&(_, &addr)| addr >= self.text.base && addr < text_end && addr <= pc)
+            .max_by_key(|&(_, &addr)| addr)
+            .map(|(name, &addr)| (name.as_str(), pc - addr))
+    }
+
+    /// A human-readable location for `pc`: symbol+offset and source line
+    /// when known, always including the raw pc.
+    #[must_use]
+    pub fn location(&self, pc: u64) -> String {
+        let mut out = format!("{pc:#x}");
+        if let Some((name, offset)) = self.nearest_symbol(pc) {
+            if offset == 0 {
+                out.push_str(&format!(" <{name}>"));
+            } else {
+                out.push_str(&format!(" <{name}+{offset:#x}>"));
+            }
+        }
+        if let Some(line) = self.source_line(pc) {
+            out.push_str(&format!(" (line {line})"));
+        }
+        out
+    }
     /// Both segments, text first.
     #[must_use]
     pub fn segments(&self) -> [&Segment; 2] {
@@ -175,7 +256,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 ///
 /// See [`assemble`].
 pub fn assemble_with(source: &str, options: &AsmOptions) -> Result<Program, AsmError> {
-    Assembler::new(options).run(source)
+    Assembler::new(options)
+        .run(source)
+        .map_err(|e| e.with_source_context(source))
 }
 
 struct Assembler {
@@ -219,10 +302,7 @@ impl Assembler {
         // Pass 1: parse, size, place, collect symbols.
         for (idx, raw_line) in source.lines().enumerate() {
             let line_no = idx + 1;
-            let err = |message: String| AsmError {
-                line: line_no,
-                message,
-            };
+            let err = |message: String| AsmError::new(line_no, message);
             let mut rest = strip_comment(raw_line).trim();
             // Peel leading labels.
             while let Some(colon) = find_label_colon(rest) {
@@ -262,19 +342,18 @@ impl Assembler {
 
         // Pass 2: expand and encode.
         let mut text = vec![0u8; self.text_len as usize];
+        let mut line_map = vec![0u32; (self.text_len / 4) as usize];
         for pending in &self.instrs {
-            let instrs = expand(pending, &self.symbols).map_err(|message| AsmError {
-                line: pending.line,
-                message,
-            })?;
+            let instrs = expand(pending, &self.symbols)
+                .map_err(|message| AsmError::new(pending.line, message))?;
             debug_assert_eq!(instrs.len() as u64 * 4, pending.size, "{}", pending.mnemonic);
             for (i, instr) in instrs.iter().enumerate() {
-                let word = instr.encode().map_err(|e| AsmError {
-                    line: pending.line,
-                    message: e.to_string(),
-                })?;
+                let word = instr
+                    .encode()
+                    .map_err(|e| AsmError::new(pending.line, e.to_string()))?;
                 let off = (pending.addr - self.options.text_base) as usize + 4 * i;
                 text[off..off + 4].copy_from_slice(&word.to_le_bytes());
+                line_map[off / 4] = pending.line as u32;
             }
         }
         let mut data = vec![0u8; self.data_len as usize];
@@ -283,9 +362,8 @@ impl Assembler {
             match item {
                 DataItem::Bytes(bytes) => data[off..off + bytes.len()].copy_from_slice(bytes),
                 DataItem::SymValue { size, sym, line } => {
-                    let value = *self.symbols.get(sym).ok_or_else(|| AsmError {
-                        line: *line,
-                        message: format!("undefined symbol {sym:?}"),
+                    let value = *self.symbols.get(sym).ok_or_else(|| {
+                        AsmError::new(*line, format!("undefined symbol {sym:?}"))
                     })?;
                     let bytes = value.to_le_bytes();
                     data[off..off + *size as usize].copy_from_slice(&bytes[..*size as usize]);
@@ -308,11 +386,12 @@ impl Assembler {
                 data,
             },
             symbols: self.symbols,
+            line_map,
         })
     }
 
     fn directive(&mut self, name: &str, args: &str, line: usize) -> Result<(), AsmError> {
-        let err = |message: String| AsmError { line, message };
+        let err = |message: String| AsmError::new(line, message);
         match name {
             "text" => self.section = Section::Text,
             "data" => self.section = Section::Data,

@@ -1,55 +1,103 @@
 //! Encode/decode roundtrip property tests.
+//!
+//! The `instr()` strategy covers every instruction form the crate can
+//! encode — all ALU op variants (with shift shamt ranges respected), all
+//! three CSR ops in both register and immediate form, all four custom
+//! opcodes, and the opcode-less system instructions — so the proptest
+//! suite exercises the full encoder/decoder surface. The deterministic
+//! `exhaustive_variant_sweep` test below additionally pins every variant
+//! at its operand boundaries so a regression cannot hide behind shrinking.
 
 use proptest::prelude::*;
 use riscv_isa::instr::{BranchOp, CsrOp, LoadOp, Op32Op, OpImm32Op, OpImmOp, OpOp, StoreOp};
 use riscv_isa::rocc::{CustomOpcode, RoccInstruction};
 use riscv_isa::{Instr, Reg};
 
+const BRANCH_OPS: [BranchOp; 6] = [
+    BranchOp::Beq,
+    BranchOp::Bne,
+    BranchOp::Blt,
+    BranchOp::Bge,
+    BranchOp::Bltu,
+    BranchOp::Bgeu,
+];
+
+const OP_OPS: [OpOp; 18] = [
+    OpOp::Add,
+    OpOp::Sub,
+    OpOp::Sll,
+    OpOp::Slt,
+    OpOp::Sltu,
+    OpOp::Xor,
+    OpOp::Srl,
+    OpOp::Sra,
+    OpOp::Or,
+    OpOp::And,
+    OpOp::Mul,
+    OpOp::Mulh,
+    OpOp::Mulhsu,
+    OpOp::Mulhu,
+    OpOp::Div,
+    OpOp::Divu,
+    OpOp::Rem,
+    OpOp::Remu,
+];
+
+const OP32_OPS: [Op32Op; 10] = [
+    Op32Op::Addw,
+    Op32Op::Subw,
+    Op32Op::Sllw,
+    Op32Op::Srlw,
+    Op32Op::Sraw,
+    Op32Op::Mulw,
+    Op32Op::Divw,
+    Op32Op::Divuw,
+    Op32Op::Remw,
+    Op32Op::Remuw,
+];
+
+const LOAD_OPS: [LoadOp; 7] = [
+    LoadOp::Lb,
+    LoadOp::Lh,
+    LoadOp::Lw,
+    LoadOp::Ld,
+    LoadOp::Lbu,
+    LoadOp::Lhu,
+    LoadOp::Lwu,
+];
+
+const STORE_OPS: [StoreOp; 4] = [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw, StoreOp::Sd];
+
+/// OP-IMM variants taking a full 12-bit immediate (the shift forms take a
+/// 6-bit shamt instead and are generated separately).
+const OP_IMM_FULL: [OpImmOp; 6] = [
+    OpImmOp::Addi,
+    OpImmOp::Slti,
+    OpImmOp::Sltiu,
+    OpImmOp::Xori,
+    OpImmOp::Ori,
+    OpImmOp::Andi,
+];
+
+const OP_IMM_SHIFTS: [OpImmOp; 3] = [OpImmOp::Slli, OpImmOp::Srli, OpImmOp::Srai];
+
+const OP_IMM32_SHIFTS: [OpImm32Op; 3] = [OpImm32Op::Slliw, OpImm32Op::Srliw, OpImm32Op::Sraiw];
+
+const CSR_OPS: [CsrOp; 3] = [CsrOp::Csrrw, CsrOp::Csrrs, CsrOp::Csrrc];
+
+const CUSTOM_OPCODES: [CustomOpcode; 4] = [
+    CustomOpcode::Custom0,
+    CustomOpcode::Custom1,
+    CustomOpcode::Custom2,
+    CustomOpcode::Custom3,
+];
+
 fn reg() -> impl Strategy<Value = Reg> {
     (0u8..32).prop_map(Reg::new)
 }
 
-fn branch_op() -> impl Strategy<Value = BranchOp> {
-    prop_oneof![
-        Just(BranchOp::Beq),
-        Just(BranchOp::Bne),
-        Just(BranchOp::Blt),
-        Just(BranchOp::Bge),
-        Just(BranchOp::Bltu),
-        Just(BranchOp::Bgeu),
-    ]
-}
-
-fn op_op() -> impl Strategy<Value = OpOp> {
-    prop_oneof![
-        Just(OpOp::Add), Just(OpOp::Sub), Just(OpOp::Sll), Just(OpOp::Slt),
-        Just(OpOp::Sltu), Just(OpOp::Xor), Just(OpOp::Srl), Just(OpOp::Sra),
-        Just(OpOp::Or), Just(OpOp::And), Just(OpOp::Mul), Just(OpOp::Mulh),
-        Just(OpOp::Mulhsu), Just(OpOp::Mulhu), Just(OpOp::Div), Just(OpOp::Divu),
-        Just(OpOp::Rem), Just(OpOp::Remu),
-    ]
-}
-
-fn op32_op() -> impl Strategy<Value = Op32Op> {
-    prop_oneof![
-        Just(Op32Op::Addw), Just(Op32Op::Subw), Just(Op32Op::Sllw),
-        Just(Op32Op::Srlw), Just(Op32Op::Sraw), Just(Op32Op::Mulw),
-        Just(Op32Op::Divw), Just(Op32Op::Divuw), Just(Op32Op::Remw),
-        Just(Op32Op::Remuw),
-    ]
-}
-
-fn load_op() -> impl Strategy<Value = LoadOp> {
-    prop_oneof![
-        Just(LoadOp::Lb), Just(LoadOp::Lh), Just(LoadOp::Lw), Just(LoadOp::Ld),
-        Just(LoadOp::Lbu), Just(LoadOp::Lhu), Just(LoadOp::Lwu),
-    ]
-}
-
-fn store_op() -> impl Strategy<Value = StoreOp> {
-    prop_oneof![
-        Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw), Just(StoreOp::Sd),
-    ]
+fn pick<T: Clone + core::fmt::Debug + 'static>(items: &[T]) -> impl Strategy<Value = T> {
+    proptest::sample::select(items.to_vec())
 }
 
 fn instr() -> impl Strategy<Value = Instr> {
@@ -60,60 +108,49 @@ fn instr() -> impl Strategy<Value = Instr> {
             .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
         (reg(), reg(), -2048i32..=2047)
             .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (branch_op(), reg(), reg(), (-2048i32..2048).prop_map(|o| o * 2))
+        (pick(&BRANCH_OPS), reg(), reg(), (-2048i32..2048).prop_map(|o| o * 2))
             .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
-        (load_op(), reg(), reg(), -2048i32..=2047)
+        (pick(&LOAD_OPS), reg(), reg(), -2048i32..=2047)
             .prop_map(|(op, rd, rs1, offset)| Instr::Load { op, rd, rs1, offset }),
-        (store_op(), reg(), reg(), -2048i32..=2047)
+        (pick(&STORE_OPS), reg(), reg(), -2048i32..=2047)
             .prop_map(|(op, rs2, rs1, offset)| Instr::Store { op, rs2, rs1, offset }),
-        (reg(), reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::OpImm {
-            op: OpImmOp::Addi,
+        (pick(&OP_IMM_FULL), reg(), reg(), -2048i32..=2047)
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
+        (pick(&OP_IMM_SHIFTS), reg(), reg(), 0i32..64)
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
+        (reg(), reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instr::OpImm32 {
+            op: OpImm32Op::Addiw,
             rd,
             rs1,
             imm
         }),
-        (reg(), reg(), 0i32..64).prop_map(|(rd, rs1, imm)| Instr::OpImm {
-            op: OpImmOp::Srai,
-            rd,
-            rs1,
-            imm
-        }),
-        (reg(), reg(), 0i32..32).prop_map(|(rd, rs1, imm)| Instr::OpImm32 {
-            op: OpImm32Op::Sraiw,
-            rd,
-            rs1,
-            imm
-        }),
-        (op_op(), reg(), reg(), reg())
+        (pick(&OP_IMM32_SHIFTS), reg(), reg(), 0i32..32)
+            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm32 { op, rd, rs1, imm }),
+        (pick(&OP_OPS), reg(), reg(), reg())
             .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        (op32_op(), reg(), reg(), reg())
+        (pick(&OP32_OPS), reg(), reg(), reg())
             .prop_map(|(op, rd, rs1, rs2)| Instr::Op32 { op, rd, rs1, rs2 }),
+        Just(Instr::Fence),
         Just(Instr::Ecall),
         Just(Instr::Ebreak),
-        (reg(), reg(), 0u16..4096).prop_map(|(rd, rs1, csr)| Instr::Csr {
-            op: CsrOp::Csrrs,
-            rd,
-            csr,
-            rs1
-        }),
-        (reg(), 0u16..4096, 0u8..32).prop_map(|(rd, csr, imm)| Instr::CsrImm {
-            op: CsrOp::Csrrw,
-            rd,
-            csr,
-            imm
-        }),
-        (reg(), reg(), reg(), 0u8..128, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-            |(rd, rs1, rs2, funct7, xd, xs1, xs2)| Instr::Custom(RoccInstruction {
-                opcode: CustomOpcode::Custom0,
-                funct7,
-                rd,
-                rs1,
-                rs2,
-                xd,
-                xs1,
-                xs2,
-            })
-        ),
+        Just(Instr::Mret),
+        (pick(&CSR_OPS), reg(), reg(), 0u16..4096)
+            .prop_map(|(op, rd, rs1, csr)| Instr::Csr { op, rd, csr, rs1 }),
+        (pick(&CSR_OPS), reg(), 0u16..4096, 0u8..32)
+            .prop_map(|(op, rd, csr, imm)| Instr::CsrImm { op, rd, csr, imm }),
+        (
+            pick(&CUSTOM_OPCODES),
+            reg(),
+            reg(),
+            reg(),
+            0u8..128,
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(opcode, rd, rs1, rs2, funct7, xd, xs1, xs2)| {
+                Instr::Custom(RoccInstruction { opcode, funct7, rd, rs1, rs2, xd, xs1, xs2 })
+            }),
     ]
 }
 
@@ -144,5 +181,130 @@ proptest! {
     #[test]
     fn display_never_panics(i in instr()) {
         let _ = i.to_string();
+    }
+}
+
+/// Asserts `encode(i)` decodes back to `i` and that the decoded value
+/// re-encodes to the identical word.
+fn assert_roundtrip(i: Instr) {
+    let word = i.encode().unwrap_or_else(|e| panic!("{i}: encode failed: {e}"));
+    let back =
+        Instr::decode(word).unwrap_or_else(|e| panic!("{i} ({word:#010x}): decode failed: {e}"));
+    assert_eq!(back, i, "word {word:#010x}");
+    assert_eq!(back.encode().unwrap(), word, "re-encode of {i}");
+}
+
+/// Deterministic sweep of every instruction variant at operand boundaries:
+/// register extremes, immediate min/mid/max, shamt limits, CSR address
+/// limits, and every RoCC funct7/xd/xs1/xs2 edge.
+#[test]
+fn exhaustive_variant_sweep() {
+    let regs = [Reg::new(0), Reg::new(1), Reg::new(15), Reg::new(31)];
+    let imm12 = [-2048i32, -1, 0, 1, 2047];
+    let imm20 = [-(1i32 << 19), -1, 0, 1, (1 << 19) - 1];
+
+    for &rd in &regs {
+        for &imm in &imm20 {
+            assert_roundtrip(Instr::Lui { rd, imm20: imm });
+            assert_roundtrip(Instr::Auipc { rd, imm20: imm });
+            assert_roundtrip(Instr::Jal { rd, offset: imm * 2 });
+        }
+        for &rs1 in &regs {
+            for &imm in &imm12 {
+                assert_roundtrip(Instr::Jalr { rd, rs1, offset: imm });
+            }
+        }
+    }
+
+    for op in BRANCH_OPS {
+        for &rs1 in &regs {
+            for &rs2 in &regs {
+                for offset in [-4096i32, -2, 0, 2, 4094] {
+                    assert_roundtrip(Instr::Branch { op, rs1, rs2, offset });
+                }
+            }
+        }
+    }
+
+    for &rd in &regs {
+        for &rs1 in &regs {
+            for &offset in &imm12 {
+                for op in LOAD_OPS {
+                    assert_roundtrip(Instr::Load { op, rd, rs1, offset });
+                }
+                for op in STORE_OPS {
+                    assert_roundtrip(Instr::Store { op, rs2: rd, rs1, offset });
+                }
+                for op in OP_IMM_FULL {
+                    assert_roundtrip(Instr::OpImm { op, rd, rs1, imm: offset });
+                }
+                assert_roundtrip(Instr::OpImm32 {
+                    op: OpImm32Op::Addiw,
+                    rd,
+                    rs1,
+                    imm: offset,
+                });
+            }
+            for op in OP_IMM_SHIFTS {
+                for shamt in [0i32, 1, 31, 32, 63] {
+                    assert_roundtrip(Instr::OpImm { op, rd, rs1, imm: shamt });
+                }
+            }
+            for op in OP_IMM32_SHIFTS {
+                for shamt in [0i32, 1, 31] {
+                    assert_roundtrip(Instr::OpImm32 { op, rd, rs1, imm: shamt });
+                }
+            }
+            for &rs2 in &regs {
+                for op in OP_OPS {
+                    assert_roundtrip(Instr::Op { op, rd, rs1, rs2 });
+                }
+                for op in OP32_OPS {
+                    assert_roundtrip(Instr::Op32 { op, rd, rs1, rs2 });
+                }
+            }
+        }
+    }
+
+    for op in CSR_OPS {
+        for &rd in &regs {
+            for csr in [0u16, 1, 0x305, 0xFFF] {
+                for &rs1 in &regs {
+                    assert_roundtrip(Instr::Csr { op, rd, csr, rs1 });
+                }
+                for imm in [0u8, 1, 15, 31] {
+                    assert_roundtrip(Instr::CsrImm { op, rd, csr, imm });
+                }
+            }
+        }
+    }
+
+    for opcode in CUSTOM_OPCODES {
+        for funct7 in [0u8, 1, 12, 63, 127] {
+            for &rd in &regs {
+                for (xd, xs1, xs2) in [
+                    (false, false, false),
+                    (true, false, false),
+                    (true, true, false),
+                    (true, true, true),
+                    (false, true, true),
+                ] {
+                    assert_roundtrip(Instr::Custom(RoccInstruction {
+                        opcode,
+                        funct7,
+                        rd,
+                        rs1: Reg::new(31),
+                        rs2: Reg::new(1),
+                        xd,
+                        xs1,
+                        xs2,
+                    }));
+                }
+            }
+        }
+    }
+
+    for i in [Instr::Fence, Instr::Ecall, Instr::Ebreak, Instr::Mret, Instr::NOP] {
+        assert_roundtrip(i);
     }
 }

@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use crate::accelerator::ACC_INDEX;
+
 /// The accelerator functions selected by `funct7` of a custom-0 instruction.
 ///
 /// Values 0–8 are the paper's Table II codes verbatim (`CLR_ALL`'s code
@@ -135,6 +137,120 @@ impl DecimalFunct {
     pub fn in_paper_table2(self) -> bool {
         self.funct7() <= DecimalFunct::DecAccum.funct7()
     }
+
+    // ---- protocol/typestate metadata (consumed by `rvlint`) ------------
+    //
+    // These describe the architectural contract of `DecimalAccelerator`:
+    // which commands the sticky Error state still services, which touch
+    // the carry latch, and which internal registers each command reads
+    // and writes. Static checkers derive their typestate automaton from
+    // these instead of duplicating the `accelerator.rs` match.
+
+    /// True if the sticky Error state still services this command
+    /// (everything else answers benignly and stays latched).
+    #[must_use]
+    pub fn serviced_in_error(self) -> bool {
+        matches!(self, DecimalFunct::Stat | DecimalFunct::ClrAll)
+    }
+
+    /// True if the command leaves the carry latch in a defined state
+    /// (writes it, or clears it as part of `CLR_ALL`).
+    #[must_use]
+    pub fn defines_carry(self) -> bool {
+        matches!(
+            self,
+            DecimalFunct::DecAdd
+                | DecimalFunct::DecAdc
+                | DecimalFunct::DecAccum
+                | DecimalFunct::DecAddR
+                | DecimalFunct::DecMulD
+                | DecimalFunct::ClrAll
+        )
+    }
+
+    /// True if the command consumes the latched carry (`DEC_ADC` only).
+    #[must_use]
+    pub fn reads_carry(self) -> bool {
+        self == DecimalFunct::DecAdc
+    }
+
+    /// True if the command mutates accelerator-internal state (register
+    /// file, accumulator, carry latch, or binary scratch) — i.e. breaks
+    /// the "freshly cleared, untouched" condition a redundant `CLR_ALL`
+    /// check relies on.
+    #[must_use]
+    pub fn mutates_state(self) -> bool {
+        !matches!(
+            self,
+            DecimalFunct::Rd | DecimalFunct::Stat | DecimalFunct::ClrAll
+        )
+    }
+
+    /// Internal register-file registers the command reads, as a 16-bit
+    /// mask over the register index space. `fields` carries the decoded
+    /// `(rd_field, rs1_field, rs2_field)` operand fields of the concrete
+    /// instruction (register-file addresses for the register-addressed
+    /// commands). `DEC_ACCUM`'s addend register is selected by a runtime
+    /// digit, so it conservatively reads registers 0–9.
+    #[must_use]
+    pub fn regs_read(self, fields: (u8, u8, u8)) -> u16 {
+        let (_, rs1_field, rs2_field) = fields;
+        let bit = |field: u8| 1u16 << decode_reg_address(field).0;
+        let acc = 1u16 << ACC_INDEX;
+        match self {
+            DecimalFunct::Rd => bit(rs1_field),
+            DecimalFunct::DecMul | DecimalFunct::DecAddR => bit(rs1_field) | bit(rs2_field),
+            DecimalFunct::DecAccum => acc | 0x03FF,
+            DecimalFunct::DecMulD => acc | (1 << 1),
+            _ => 0,
+        }
+    }
+
+    /// Internal register-file registers the command writes, as a mask like
+    /// [`DecimalFunct::regs_read`]. `CLR_ALL` defines every register (to
+    /// zero) and is reported as writing all sixteen.
+    #[must_use]
+    pub fn regs_written(self, fields: (u8, u8, u8)) -> u16 {
+        let (rd_field, _, rs2_field) = fields;
+        let bit = |field: u8| 1u16 << decode_reg_address(field).0;
+        let acc = 1u16 << ACC_INDEX;
+        match self {
+            DecimalFunct::Wr | DecimalFunct::Ld => bit(rs2_field),
+            DecimalFunct::DecAddR => bit(rd_field),
+            DecimalFunct::DecCnv
+            | DecimalFunct::DecMul
+            | DecimalFunct::DecAccum
+            | DecimalFunct::DecMulD => acc,
+            DecimalFunct::ClrAll => 0xFFFF,
+            _ => 0,
+        }
+    }
+
+    /// True for the commands that deposit a value into the register file
+    /// from outside (`WR`/`LD`) — the "setup" the deeper-offload compute
+    /// commands require on their explicitly-addressed operands.
+    #[must_use]
+    pub fn is_setup_write(self) -> bool {
+        matches!(self, DecimalFunct::Wr | DecimalFunct::Ld)
+    }
+
+    /// Core-register operands (`rs1`, `rs2`) that must hold packed-BCD
+    /// data, as a pair of booleans. `DEC_ACCUM`/`DEC_MULD` take a single
+    /// digit in `rs1` (checked separately as a digit, not 16 nibbles).
+    #[must_use]
+    pub fn bcd_operands(self) -> (bool, bool) {
+        match self {
+            DecimalFunct::DecAdd | DecimalFunct::DecAdc => (true, true),
+            DecimalFunct::Wr => (true, false),
+            _ => (false, false),
+        }
+    }
+
+    /// True if `rs1` carries a single decimal digit (0–9).
+    #[must_use]
+    pub fn digit_operand(self) -> bool {
+        matches!(self, DecimalFunct::DecAccum | DecimalFunct::DecMulD)
+    }
 }
 
 impl fmt::Display for DecimalFunct {
@@ -194,6 +310,44 @@ mod tests {
         assert!(DecimalFunct::DecAccum.in_paper_table2());
         assert!(!DecimalFunct::DecAdc.in_paper_table2());
         assert!(!DecimalFunct::Stat.in_paper_table2());
+    }
+
+    #[test]
+    fn typestate_metadata_matches_accelerator_contract() {
+        use DecimalFunct as F;
+        // Error-state servicing mirrors `DecimalAccelerator::command`.
+        for f in F::ALL {
+            assert_eq!(
+                f.serviced_in_error(),
+                matches!(f, F::Stat | F::ClrAll),
+                "{f}"
+            );
+        }
+        // Only DEC_ADC consumes the latch; every carry consumer's
+        // producers are the BCD adders plus CLR_ALL's clear.
+        assert!(F::DecAdc.reads_carry());
+        assert!(F::DecAdd.defines_carry() && F::ClrAll.defines_carry());
+        assert!(!F::Wr.defines_carry() && !F::Stat.reads_carry());
+        // Register-file dataflow for the concrete kernel encodings.
+        let acc = 1u16 << ACC_INDEX;
+        assert_eq!(F::Wr.regs_written((0, 0, 1)), 1 << 1);
+        assert_eq!(F::Ld.regs_written((0, 0, 0x12)), 1 << 2);
+        assert_eq!(F::DecMul.regs_read((0, 1, 2)), (1 << 1) | (1 << 2));
+        assert_eq!(F::DecMul.regs_written((0, 1, 2)), acc);
+        assert_eq!(F::DecAddR.regs_written((3, 1, 2)), 1 << 3);
+        assert_eq!(F::DecMulD.regs_read((0, 0, 0)), acc | (1 << 1));
+        assert_eq!(F::DecAccum.regs_read((0, 0, 0)), acc | 0x03FF);
+        assert_eq!(F::ClrAll.regs_written((0, 0, 0)), 0xFFFF);
+        // Half-addressed fields land on the same register index.
+        assert_eq!(F::Rd.regs_read((0, 0x1F, 0)), acc);
+        // Operand classes.
+        assert_eq!(F::DecAdd.bcd_operands(), (true, true));
+        assert_eq!(F::Wr.bcd_operands(), (true, false));
+        assert!(F::DecAccum.digit_operand() && F::DecMulD.digit_operand());
+        assert!(!F::DecAdd.digit_operand());
+        // State mutation: reads don't dirty, writes do.
+        assert!(!F::Rd.mutates_state() && !F::Stat.mutates_state());
+        assert!(F::Wr.mutates_state() && F::Accum.mutates_state());
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Control-flow-graph recovery from assembled machine code.
+//!
+//! The graph is built at instruction granularity (one node per 4-byte text
+//! word) in four phases:
+//!
+//! 1. decode every word with [`riscv_isa::Instr::decode`];
+//! 2. scan for constant pairs (`auipc`+`addi`, `lui`+`addi`) that
+//!    materialize text addresses — these are *address-taken* entry points
+//!    (e.g. a trap handler armed into `mtvec`) — and resolve
+//!    `auipc ra`+`jalr ra` call pairs (the `call` pseudo-op);
+//! 3. assign every instruction to the function entries that reach it
+//!    *intra*-procedurally (calls step over the callee, `ret` stops), so a
+//!    `ret` can be wired to exactly the return points of its function's
+//!    call sites — tail-calls (`j f`) fold the jumped-to body into the
+//!    jumping function, which routes its `ret` correctly;
+//! 4. wire the interprocedural graph (call → callee entry, `ret` → return
+//!    points) and compute reachability from the entry and the
+//!    address-taken roots.
+//!
+//! The exit-syscall convention is peephole-recognized: an `ecall` whose
+//! basic block loads `a7` with 93 (`exit`) is terminal, so the driver's
+//! `finish` sequence does not fall through into the kernel body.
+
+use riscv_asm::Program;
+use riscv_isa::instr::OpImmOp;
+use riscv_isa::{Instr, Reg};
+
+/// The syscall number of `exit` in the guest ABI.
+const SYS_EXIT: i32 = 93;
+
+/// A resolved direct call site.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Instruction index of the call.
+    pub site: u32,
+    /// Instruction index of the callee entry.
+    pub target: u32,
+    /// Instruction index execution resumes at after the callee returns.
+    pub return_idx: u32,
+}
+
+/// The recovered whole-program control-flow graph.
+pub struct Cfg {
+    /// Base address of the text segment.
+    pub base: u64,
+    /// Decoded instruction per text word (`None` for undecodable words).
+    pub instrs: Vec<Option<Instr>>,
+    /// Successor edges per instruction index.
+    pub succs: Vec<Vec<u32>>,
+    /// Predecessor edges per instruction index.
+    pub preds: Vec<Vec<u32>>,
+    /// Reachable from the entry or an address-taken root.
+    pub reachable: Vec<bool>,
+    /// Instruction index of the program entry.
+    pub entry: u32,
+    /// Address-taken text addresses (secondary roots, e.g. trap handlers).
+    pub secondary_roots: Vec<u32>,
+    /// All resolved direct call sites.
+    pub call_sites: Vec<CallSite>,
+    /// Function entry points: the entry, the secondary roots, and every
+    /// call target.
+    pub functions: Vec<u32>,
+    /// `jalr` instructions whose target could not be resolved statically
+    /// (none exist in the shipped kernels; reported as an info note).
+    pub unresolved_indirect: Vec<u32>,
+    /// Basic-block leaders (for block statistics and witness rendering).
+    pub leaders: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `program`'s text segment.
+    #[must_use]
+    pub fn build(program: &Program) -> Cfg {
+        let base = program.text.base;
+        let instrs: Vec<Option<Instr>> = program
+            .text
+            .data
+            .chunks_exact(4)
+            .map(|chunk| {
+                let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                Instr::decode(word).ok()
+            })
+            .collect();
+        let n = instrs.len();
+        let in_text = |addr: u64| -> Option<u32> {
+            let offset = addr.checked_sub(base)?;
+            (offset % 4 == 0 && (offset / 4) < n as u64).then_some((offset / 4) as u32)
+        };
+
+        // Phase 2: constant pairs — address-taken roots and call targets.
+        let mut secondary_roots = Vec::new();
+        let mut jalr_call_target = vec![None::<u32>; n];
+        for i in 0..n.saturating_sub(1) {
+            let pc = base + 4 * i as u64;
+            match (&instrs[i], &instrs[i + 1]) {
+                (
+                    Some(Instr::Auipc { rd, imm20 }),
+                    Some(Instr::OpImm {
+                        op: OpImmOp::Addi,
+                        rd: rd2,
+                        rs1,
+                        imm,
+                    }),
+                ) if rd2 == rs1 && rd == rd2 => {
+                    let addr = pc
+                        .wrapping_add(((i64::from(*imm20)) << 12) as u64)
+                        .wrapping_add(*imm as i64 as u64);
+                    if let Some(idx) = in_text(addr) {
+                        secondary_roots.push(idx);
+                    }
+                }
+                (
+                    Some(Instr::Lui { rd, imm20 }),
+                    Some(Instr::OpImm {
+                        op: OpImmOp::Addi,
+                        rd: rd2,
+                        rs1,
+                        imm,
+                    }),
+                ) if rd2 == rs1 && rd == rd2 => {
+                    let addr = (((i64::from(*imm20)) << 12) + i64::from(*imm)) as u64;
+                    if let Some(idx) = in_text(addr) {
+                        secondary_roots.push(idx);
+                    }
+                }
+                (
+                    Some(Instr::Auipc { rd: Reg::RA, imm20 }),
+                    Some(Instr::Jalr {
+                        rd: Reg::RA,
+                        rs1: Reg::RA,
+                        offset,
+                    }),
+                ) => {
+                    let addr = pc
+                        .wrapping_add(((i64::from(*imm20)) << 12) as u64)
+                        .wrapping_add(*offset as i64 as u64);
+                    if let Some(idx) = in_text(addr) {
+                        jalr_call_target[i + 1] = Some(idx);
+                    }
+                }
+                _ => {}
+            }
+        }
+        secondary_roots.sort_unstable();
+        secondary_roots.dedup();
+
+        // Phase 3a: raw control edges, call sites, returns.
+        let mut call_sites = Vec::new();
+        let mut rets = Vec::new();
+        let mut unresolved_indirect = Vec::new();
+        // Per-instruction control successors *excluding* return edges;
+        // calls carry an edge to the callee (interprocedural view).
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Intra-function successors: calls step to their return point,
+        // returns stop. Used only for function membership.
+        let mut intra: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let pc = base + 4 * i as u64;
+            let next = (i + 1 < n).then_some((i + 1) as u32);
+            let Some(instr) = &instrs[i] else { continue };
+            match instr {
+                Instr::Jal { rd, offset } => {
+                    let target = in_text(pc.wrapping_add(*offset as i64 as u64));
+                    match (target, *rd == Reg::RA, next) {
+                        (Some(t), true, Some(ret_idx)) => {
+                            call_sites.push(CallSite {
+                                site: i as u32,
+                                target: t,
+                                return_idx: ret_idx,
+                            });
+                            succs[i].push(t);
+                            intra[i].push(ret_idx);
+                        }
+                        (Some(t), _, _) => {
+                            succs[i].push(t);
+                            intra[i].push(t);
+                        }
+                        (None, _, _) => {}
+                    }
+                }
+                Instr::Jalr { .. } if instr.is_return() => rets.push(i as u32),
+                Instr::Jalr { rd, .. } => {
+                    if let Some(t) = jalr_call_target[i] {
+                        if *rd == Reg::RA {
+                            if let Some(ret_idx) = next {
+                                call_sites.push(CallSite {
+                                    site: i as u32,
+                                    target: t,
+                                    return_idx: ret_idx,
+                                });
+                                succs[i].push(t);
+                                intra[i].push(ret_idx);
+                            }
+                        } else {
+                            succs[i].push(t);
+                            intra[i].push(t);
+                        }
+                    } else {
+                        unresolved_indirect.push(i as u32);
+                    }
+                }
+                Instr::Branch { offset, .. } => {
+                    if let Some(next_idx) = next {
+                        succs[i].push(next_idx);
+                        intra[i].push(next_idx);
+                    }
+                    if let Some(t) = in_text(pc.wrapping_add(*offset as i64 as u64)) {
+                        succs[i].push(t);
+                        intra[i].push(t);
+                    }
+                }
+                Instr::Mret => {}
+                Instr::Ecall if is_exit_ecall(&instrs, i) => {}
+                _ => {
+                    if let Some(next_idx) = next {
+                        succs[i].push(next_idx);
+                        intra[i].push(next_idx);
+                    }
+                }
+            }
+        }
+
+        // Phase 3b: function entries and membership.
+        let entry = in_text(program.entry).unwrap_or(0);
+        let mut functions: Vec<u32> = Vec::new();
+        functions.push(entry);
+        functions.extend(&secondary_roots);
+        functions.extend(call_sites.iter().map(|c| c.target));
+        functions.sort_unstable();
+        functions.dedup();
+        let words = functions.len().div_ceil(64);
+        let mut membership = vec![vec![0u64; words]; n];
+        for (f_idx, &f) in functions.iter().enumerate() {
+            let (word, bit) = (f_idx / 64, 1u64 << (f_idx % 64));
+            let mut stack = vec![f];
+            while let Some(i) = stack.pop() {
+                let m = &mut membership[i as usize][word];
+                if *m & bit != 0 {
+                    continue;
+                }
+                *m |= bit;
+                stack.extend(&intra[i as usize]);
+            }
+        }
+
+        // Phase 4: return edges — a `ret` resumes at the return points of
+        // every call site whose callee's body contains it.
+        let entry_index = |target: u32| functions.binary_search(&target).ok();
+        for &r in &rets {
+            for call in &call_sites {
+                let Some(f_idx) = entry_index(call.target) else {
+                    continue;
+                };
+                if membership[r as usize][f_idx / 64] & (1u64 << (f_idx % 64)) != 0 {
+                    succs[r as usize].push(call.return_idx);
+                }
+            }
+            succs[r as usize].sort_unstable();
+            succs[r as usize].dedup();
+        }
+
+        // Reachability from the entry and the address-taken roots.
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<u32> = vec![entry];
+        stack.extend(&secondary_roots);
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut reachable[i as usize], true) {
+                continue;
+            }
+            stack.extend(&succs[i as usize]);
+        }
+
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, out) in succs.iter().enumerate() {
+            for &t in out {
+                preds[t as usize].push(i as u32);
+            }
+        }
+
+        // Leaders: roots, join points, and jump/branch landing sites.
+        let mut leaders = vec![false; n];
+        if n > 0 {
+            leaders[entry as usize] = true;
+        }
+        for &r in &secondary_roots {
+            leaders[r as usize] = true;
+        }
+        for (i, out) in succs.iter().enumerate() {
+            for &t in out {
+                if t as usize != i + 1 {
+                    leaders[t as usize] = true;
+                }
+            }
+            if preds[i].len() > 1 {
+                leaders[i] = true;
+            }
+        }
+
+        Cfg {
+            base,
+            instrs,
+            succs,
+            preds,
+            reachable,
+            entry,
+            secondary_roots,
+            call_sites,
+            functions,
+            unresolved_indirect,
+            leaders,
+        }
+    }
+
+    /// Number of instruction slots (text words).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the text segment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The pc of instruction index `i`.
+    #[must_use]
+    pub fn pc(&self, i: u32) -> u64 {
+        self.base + 4 * u64::from(i)
+    }
+
+    /// All analysis roots: the entry plus the address-taken roots.
+    #[must_use]
+    pub fn roots(&self) -> Vec<u32> {
+        let mut roots = vec![self.entry];
+        roots.extend(&self.secondary_roots);
+        roots.dedup();
+        roots
+    }
+
+    /// Number of basic blocks among reachable instructions.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.leaders
+            .iter()
+            .zip(&self.reachable)
+            .filter(|&(&l, &r)| l && r)
+            .count()
+    }
+
+    /// Shortest control-flow path from any of `sources` to `target`,
+    /// avoiding instructions for which `avoid` is true (the target itself
+    /// is never avoided). Returns instruction indices, source first.
+    #[must_use]
+    pub fn witness_path(
+        &self,
+        sources: &[u32],
+        target: u32,
+        avoid: &dyn Fn(u32) -> bool,
+    ) -> Option<Vec<u32>> {
+        let n = self.len();
+        let mut parent = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            if s != target && avoid(s) {
+                continue;
+            }
+            if parent[s as usize] == u32::MAX {
+                parent[s as usize] = s;
+                queue.push_back(s);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            if i == target {
+                let mut path = vec![i];
+                let mut cur = i;
+                while parent[cur as usize] != cur {
+                    cur = parent[cur as usize];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &t in &self.succs[i as usize] {
+                if t != target && avoid(t) {
+                    continue;
+                }
+                if parent[t as usize] == u32::MAX {
+                    parent[t as usize] = i;
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// True if the `ecall` at index `i` is an exit syscall: the last in-block
+/// write to `a7` before it loads the constant 93.
+fn is_exit_ecall(instrs: &[Option<Instr>], i: usize) -> bool {
+    for j in (i.saturating_sub(16)..i).rev() {
+        let Some(instr) = &instrs[j] else { return false };
+        if instr.is_control_flow() {
+            return false;
+        }
+        if let Instr::OpImm {
+            op: OpImmOp::Addi,
+            rd: Reg::A7,
+            rs1: Reg::ZERO,
+            imm,
+        } = instr
+        {
+            return *imm == SYS_EXIT;
+        }
+        if instr.dest() == Some(Reg::A7) {
+            return false;
+        }
+    }
+    false
+}

@@ -1,0 +1,136 @@
+//! Classic register dataflow over the recovered CFG: may-initialized
+//! registers (forward), live registers (backward), and an on-demand
+//! reaching-definitions query used to enrich diagnostics.
+//!
+//! All facts are 32-bit masks indexed by core register number, solved with
+//! a worklist to a fixpoint at instruction granularity.
+
+use std::collections::VecDeque;
+
+use riscv_isa::{Instr, Reg};
+
+use crate::cfg::Cfg;
+
+/// Registers with defined values before the program runs: `x0` and the
+/// stack pointer the loader sets up.
+pub const ENTRY_DEFINED: u32 = reg_bit(Reg::ZERO) | reg_bit(Reg::SP);
+
+/// The bit for `reg` in a register mask.
+#[must_use]
+pub const fn reg_bit(reg: Reg) -> u32 {
+    1 << reg.number()
+}
+
+fn dest_mask(instr: &Instr) -> u32 {
+    instr.dest().map_or(0, reg_bit)
+}
+
+fn source_mask(instr: &Instr) -> u32 {
+    instr
+        .sources()
+        .into_iter()
+        .flatten()
+        .map(reg_bit)
+        .fold(0, |acc, bit| acc | bit)
+}
+
+/// Solved register dataflow facts.
+pub struct RegFlow {
+    /// Registers defined on *some* path reaching each instruction. A read
+    /// of a register absent from this set is defined on *no* path — a
+    /// definite uninitialized read.
+    pub may_init_in: Vec<u32>,
+    /// Registers whose value may still be read after each instruction.
+    pub live_out: Vec<u32>,
+}
+
+impl RegFlow {
+    /// Solves both analyses. `roots` carries the initial may-init mask per
+    /// analysis root; secondary roots (trap handlers, address-taken code)
+    /// conventionally start all-defined, since their callers are outside
+    /// the recovered graph.
+    #[must_use]
+    pub fn solve(cfg: &Cfg, roots: &[(u32, u32)]) -> RegFlow {
+        let n = cfg.len();
+
+        // Forward may-init: in = ∪ out(preds) ∪ root mask.
+        let mut may_init_in = vec![0u32; n];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for &(root, mask) in roots {
+            may_init_in[root as usize] |= mask;
+            queue.push_back(root);
+        }
+        let mut on_queue = vec![false; n];
+        for &(root, _) in roots {
+            on_queue[root as usize] = true;
+        }
+        while let Some(i) = queue.pop_front() {
+            on_queue[i as usize] = false;
+            let out = may_init_in[i as usize]
+                | cfg.instrs[i as usize].as_ref().map_or(0, dest_mask);
+            for &t in &cfg.succs[i as usize] {
+                let merged = may_init_in[t as usize] | out;
+                if merged != may_init_in[t as usize] {
+                    may_init_in[t as usize] = merged;
+                    if !std::mem::replace(&mut on_queue[t as usize], true) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+
+        // Backward liveness: out = ∪ in(succs); in = (out \ dest) ∪ sources.
+        let mut live_in = vec![0u32; n];
+        let mut live_out = vec![0u32; n];
+        let mut queue: VecDeque<u32> = (0..n as u32).collect();
+        let mut on_queue = vec![true; n];
+        while let Some(i) = queue.pop_front() {
+            on_queue[i as usize] = false;
+            let Some(instr) = &cfg.instrs[i as usize] else {
+                continue;
+            };
+            let out: u32 = cfg.succs[i as usize]
+                .iter()
+                .map(|&t| live_in[t as usize])
+                .fold(0, |acc, m| acc | m);
+            live_out[i as usize] = out;
+            let new_in = (out & !dest_mask(instr)) | source_mask(instr);
+            if new_in != live_in[i as usize] {
+                live_in[i as usize] = new_in;
+                for &p in &cfg.preds[i as usize] {
+                    if !std::mem::replace(&mut on_queue[p as usize], true) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+
+        RegFlow {
+            may_init_in,
+            live_out,
+        }
+    }
+}
+
+/// The definitions of `reg` that reach the use at `use_idx`: a backward
+/// search over predecessors that stops at (and collects) each defining
+/// instruction. Returns definition sites sorted by instruction index; an
+/// empty result means no definition reaches the use on any path.
+#[must_use]
+pub fn reaching_defs(cfg: &Cfg, use_idx: u32, reg: Reg) -> Vec<u32> {
+    let mut defs = Vec::new();
+    let mut visited = vec![false; cfg.len()];
+    let mut stack: Vec<u32> = cfg.preds[use_idx as usize].clone();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut visited[i as usize], true) {
+            continue;
+        }
+        if cfg.instrs[i as usize].as_ref().and_then(Instr::dest) == Some(reg) {
+            defs.push(i);
+            continue;
+        }
+        stack.extend(&cfg.preds[i as usize]);
+    }
+    defs.sort_unstable();
+    defs
+}

@@ -1,0 +1,290 @@
+//! `rvlint` fixture suite: deliberately-broken guests must trip exactly
+//! the seeded violation class with pc + path-witness diagnostics, and
+//! every shipped kernel guest must lint clean.
+
+use codesign::kernels::KernelKind;
+use rvlint::{Lint, Severity};
+use testgen::TestConfig;
+
+fn lint(source: &str) -> rvlint::Report {
+    let program = riscv_asm::assemble(source).expect("fixture assembles");
+    rvlint::analyze(&program)
+}
+
+fn findings(report: &rvlint::Report, lint: Lint) -> Vec<&rvlint::Diagnostic> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == lint)
+        .collect()
+}
+
+#[test]
+fn uninitialized_read_is_detected_with_witness() {
+    let report = lint(
+        "start:\n\
+         \tli a0, 3\n\
+         \tbeqz a0, skip\n\
+         \tli a1, 4\n\
+         skip:\n\
+         \tadd a2, a0, a1\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    // `a1` is defined on the fall-through path only; `rvlint` flags
+    // definite bugs, so a may-uninit merge must NOT be reported …
+    assert!(
+        findings(&report, Lint::UninitializedRead).is_empty(),
+        "{report}"
+    );
+
+    // … while a register defined on *no* path must be.
+    let report = lint(
+        "start:\n\
+         \tadd a2, a0, a1\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let uninit = findings(&report, Lint::UninitializedRead);
+    assert_eq!(uninit.len(), 2, "{report}");
+    let first = uninit[0];
+    assert_eq!(first.severity, Severity::Error);
+    assert!(first.message.contains("a0"), "{report}");
+    assert!(first.instruction.contains("add"), "{report}");
+    assert!(!first.witness.is_empty(), "witness required: {report}");
+    assert!(first.location.contains("line 2"), "{report}");
+}
+
+#[test]
+fn unreachable_block_is_detected() {
+    let report = lint(
+        "start:\n\
+         \tli a7, 93\n\
+         \tecall\n\
+         \tli a0, 1\n\
+         \tli a1, 2\n\
+         \tli a2, 3\n",
+    );
+    let dead = findings(&report, Lint::UnreachableCode);
+    assert_eq!(dead.len(), 1, "{report}");
+    assert_eq!(dead[0].severity, Severity::Error);
+    assert!(dead[0].message.contains("3 unlabeled"), "{report}");
+}
+
+#[test]
+fn dec_mul_without_wr_setup_is_detected() {
+    // CLR_ALL initializes every internal register, but DEC_MUL multiplies
+    // two registers nothing ever deposited data into.
+    let report = lint(
+        "start:\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tcustom0 7, x15, x1, x2, 0, 0, 0\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let missing = findings(&report, Lint::MissingAccelSetup);
+    assert_eq!(missing.len(), 1, "{report}");
+    assert!(missing[0].message.contains("WR/LD"), "{report}");
+    assert!(missing[0].message.contains("r1, r2"), "{report}");
+    assert!(missing[0].message.contains("DEC_MUL"), "{report}");
+    assert!(missing[0].instruction.contains("custom0"), "{report}");
+    assert!(!missing[0].witness.is_empty(), "{report}");
+}
+
+#[test]
+fn dec_accum_without_clr_all_is_detected() {
+    // No CLR_ALL ever runs: the accumulator and addend registers are
+    // completely undefined when DEC_ACCUM reads them.
+    let report = lint(
+        "start:\n\
+         \tli t0, 3\n\
+         \tcustom0 8, a2, t0, zero, 1, 1, 0\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let missing = findings(&report, Lint::MissingAccelSetup);
+    assert_eq!(missing.len(), 1, "{report}");
+    assert!(missing[0].message.contains("no CLR_ALL"), "{report}");
+    assert!(missing[0].message.contains("acc"), "{report}");
+}
+
+#[test]
+fn dec_adc_with_undefined_carry_is_detected() {
+    let report = lint(
+        "start:\n\
+         \tli a0, 0x12\n\
+         \tli a1, 0x34\n\
+         \tcustom0 9, a2, a0, a1, 1, 1, 1\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let carry = findings(&report, Lint::UndefinedCarry);
+    assert_eq!(carry.len(), 1, "{report}");
+    assert!(carry[0].message.contains("carry"), "{report}");
+    assert!(carry[0].message.contains("DEC_ADC"), "{report}");
+}
+
+#[test]
+fn missing_clr_all_on_error_path_is_detected() {
+    // The guest reads STAT, branches on it — and then issues DEC_ADD on
+    // the error path without the CLR_ALL recovery the protocol requires.
+    let report = lint(
+        "start:\n\
+         \tli a0, 0x12\n\
+         \tli a1, 0x34\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tcustom0 4, a2, a0, a1, 1, 1, 1\n\
+         \tcustom0 12, t0, zero, zero, 1, 0, 0\n\
+         \tbnez t0, onerror\n\
+         \tj finish\n\
+         onerror:\n\
+         \tcustom0 4, a3, a0, a1, 1, 1, 1\n\
+         \tj finish\n\
+         finish:\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let reuse = findings(&report, Lint::ReuseAfterError);
+    assert_eq!(reuse.len(), 1, "{report}");
+    assert!(reuse[0].message.contains("CLR_ALL"), "{report}");
+    assert!(reuse[0].message.contains("DEC_ADD"), "{report}");
+    // The witness must route through the error-observing branch.
+    assert!(!reuse[0].witness.is_empty(), "{report}");
+
+    // The same shape with the CLR_ALL recovery in place is clean.
+    let repaired = lint(
+        "start:\n\
+         \tli a0, 0x12\n\
+         \tli a1, 0x34\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tcustom0 4, a2, a0, a1, 1, 1, 1\n\
+         \tcustom0 12, t0, zero, zero, 1, 0, 0\n\
+         \tbnez t0, onerror\n\
+         \tj finish\n\
+         onerror:\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tcustom0 4, a3, a0, a1, 1, 1, 1\n\
+         \tj finish\n\
+         finish:\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    assert!(
+        findings(&repaired, Lint::ReuseAfterError).is_empty(),
+        "{repaired}"
+    );
+}
+
+#[test]
+fn non_bcd_immediate_operand_is_detected() {
+    let report = lint(
+        "start:\n\
+         \tli t0, 0xAB\n\
+         \tli t1, 0x12\n\
+         \tcustom0 4, a2, t0, t1, 1, 1, 1\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let bcd = findings(&report, Lint::NonBcdOperand);
+    assert_eq!(bcd.len(), 1, "{report}");
+    assert!(bcd[0].message.contains("0xab"), "{report}");
+    assert!(bcd[0].message.contains("t0"), "{report}");
+    // The reaching-definitions query points at the defining `li`.
+    assert!(bcd[0].message.contains("defined at"), "{report}");
+}
+
+#[test]
+fn non_digit_operand_is_detected() {
+    // DEC_ACCUM's rs1 must be a single digit 0-9; 12 is not.
+    let report = lint(
+        "start:\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tli t0, 12\n\
+         \tcustom0 8, a2, t0, zero, 1, 1, 0\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let bcd = findings(&report, Lint::NonBcdOperand);
+    assert_eq!(bcd.len(), 1, "{report}");
+    assert!(bcd[0].message.contains("digit"), "{report}");
+
+    // The masked digit-extraction idiom (`andi x, 15`) must NOT flag.
+    let idiom = lint(
+        "start:\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tld t0, 0(sp)\n\
+         \tandi t0, t0, 15\n\
+         \tcustom0 8, a2, t0, zero, 1, 1, 0\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    assert!(findings(&idiom, Lint::NonBcdOperand).is_empty(), "{idiom}");
+}
+
+#[test]
+fn redundant_clr_all_is_detected() {
+    let report = lint(
+        "start:\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let clr = findings(&report, Lint::RedundantClrAll);
+    assert_eq!(clr.len(), 1, "{report}");
+    assert!(clr[0].message.contains("dead command"), "{report}");
+}
+
+#[test]
+fn dead_stat_is_detected() {
+    let report = lint(
+        "start:\n\
+         \tcustom0 5, zero, zero, zero, 0, 0, 0\n\
+         \tcustom0 12, t0, zero, zero, 1, 0, 0\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let dead = findings(&report, Lint::DeadStat);
+    assert_eq!(dead.len(), 1, "{report}");
+    assert!(dead[0].message.contains("never consumed"), "{report}");
+}
+
+#[test]
+fn every_shipped_kernel_lints_clean() {
+    let vectors = testgen::generate(&TestConfig {
+        count: 4,
+        seed: 2019,
+        ..TestConfig::default()
+    });
+    for kind in KernelKind::ALL {
+        let guest = codesign::framework::build_guest(kind, &vectors, 1)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let report = rvlint::analyze(&guest.program);
+        assert!(
+            report.is_clean(),
+            "{kind} has gating findings:\n{report}"
+        );
+        if kind.uses_accelerator() {
+            assert!(
+                report.stats.accel_commands > 0,
+                "{kind}: no accelerator commands found — CFG recovery broke"
+            );
+        }
+    }
+}
+
+#[test]
+fn diagnostics_are_machine_consumable() {
+    let report = lint(
+        "start:\n\
+         \tadd a2, a0, a1\n\
+         \tli a7, 93\n\
+         \tecall\n",
+    );
+    let d = &report.diagnostics[0];
+    assert_eq!(d.code(), "uninitialized-read");
+    // pc anchors to the text base; witness steps carry pcs too.
+    assert_eq!(d.pc % 4, 0);
+    assert!(d.witness.iter().all(|s| s.pc % 4 == 0));
+    assert!(d.location.starts_with("0x"), "{}", d.location);
+}
