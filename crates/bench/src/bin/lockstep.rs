@@ -7,6 +7,7 @@
 //! lockstep [conformance|fuzz|rocc|faults|all] [--samples N] [--seed S]
 //!          [--programs N] [--body N] [--commands N] [--no-rocc]
 //!          [--faults N] [--fault-samples N]
+//!          [--journal PATH | --resume PATH] [--checkpoint-every N]
 //! ```
 //!
 //! Defaults: `all`, 200 database samples (the paper's 8,000-sample
@@ -14,15 +15,29 @@
 //! database), seed 2019, 200 fuzz programs, 500 injected faults over a
 //! 6-sample guest.
 //!
+//! `--journal PATH` makes the `conformance`, `fuzz`, and `faults`
+//! subcommands (one at a time — not `all`) write an append-only journal of
+//! completed cases; `--resume PATH` restarts a killed run from its journal
+//! and, because every campaign is deterministic in its seed, produces the
+//! same stdout report byte for byte. The `faults` subcommand journals one
+//! file per kernel at `PATH.<kernel-slug>`. Progress lines (cases done /
+//! total / quarantined) go to stderr so stdout stays diffable.
+//!
 //! Exits nonzero on any divergence, printing the full report (pc,
 //! instruction, register/memory delta, retirement context) and the shrunk
 //! reproducing program for fuzz failures. A lockstep run that only ends
 //! because the step budget ran out is reported as a distinct warning (a
-//! bounded hang is not a pass) and counted as a failure.
+//! bounded hang is not a pass) and counted as a failure. I/O and setup
+//! failures (an unreadable journal, a kernel that fails to build) are
+//! reported as typed errors with a nonzero exit, never a panic.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
 
 use codesign::kernels::KernelKind;
-use lockstep::campaign::{run_campaign, CampaignConfig};
-use lockstep::fuzz::{run_fuzz, FuzzConfig};
+use lockstep::campaign::{run_campaign_journaled, CampaignConfig};
+use lockstep::fuzz::{run_fuzz_journaled, FuzzConfig};
+use lockstep::journal::{Fingerprint, Journal, JournalSpec, Progress};
 use lockstep::rocc_diff::fuzz_rocc_commands;
 use lockstep::{guest_budget, run_guest_pair, LockstepOutcome, Pair, Termination, DEFAULT_CONTEXT};
 use testgen::TestConfig;
@@ -37,6 +52,32 @@ struct Options {
     with_rocc: bool,
     faults: usize,
     fault_samples: usize,
+    journal: Option<PathBuf>,
+    resume: bool,
+    checkpoint_every: usize,
+}
+
+impl Options {
+    /// The journal spec for this run (`suffix` distinguishes per-kernel
+    /// journals within one invocation).
+    fn journal_spec(&self, suffix: Option<&str>) -> Option<JournalSpec> {
+        self.journal.as_ref().map(|path| {
+            let path = match suffix {
+                Some(suffix) => {
+                    let mut name = path.as_os_str().to_os_string();
+                    name.push(".");
+                    name.push(suffix);
+                    PathBuf::from(name)
+                }
+                None => path.clone(),
+            };
+            JournalSpec {
+                path,
+                resume: self.resume,
+                checkpoint_every: self.checkpoint_every,
+            }
+        })
+    }
 }
 
 fn parse_args() -> Options {
@@ -50,6 +91,9 @@ fn parse_args() -> Options {
         with_rocc: true,
         faults: 500,
         fault_samples: 6,
+        journal: None,
+        resume: false,
+        checkpoint_every: 50,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,9 +111,25 @@ fn parse_args() -> Options {
             "--faults" => options.faults = number("--faults") as usize,
             "--fault-samples" => options.fault_samples = number("--fault-samples") as usize,
             "--no-rocc" => options.with_rocc = false,
+            "--journal" => {
+                options.journal =
+                    Some(args.next().unwrap_or_else(|| usage("--journal needs a path")).into());
+            }
+            "--resume" => {
+                options.journal =
+                    Some(args.next().unwrap_or_else(|| usage("--resume needs a path")).into());
+                options.resume = true;
+            }
+            "--checkpoint-every" => {
+                options.checkpoint_every = number("--checkpoint-every") as usize;
+            }
             "conformance" | "fuzz" | "rocc" | "faults" | "all" => options.what = arg,
             other => usage(&format!("unknown argument {other:?}")),
         }
+    }
+    if options.journal.is_some() && !matches!(options.what.as_str(), "conformance" | "fuzz" | "faults")
+    {
+        usage("--journal/--resume requires a single journaled subcommand: conformance, fuzz, or faults");
     }
     options
 }
@@ -78,9 +138,24 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: lockstep [conformance|fuzz|rocc|faults|all] [--samples N] [--seed S] \
-         [--programs N] [--body N] [--commands N] [--no-rocc] [--faults N] [--fault-samples N]"
+         [--programs N] [--body N] [--commands N] [--no-rocc] [--faults N] [--fault-samples N] \
+         [--journal PATH | --resume PATH] [--checkpoint-every N]"
     );
     std::process::exit(2);
+}
+
+/// Reports a typed runtime failure (journal I/O, header mismatch) and
+/// exits nonzero — the error path the panic audit demands: no backtraces.
+fn die(error: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {error}");
+    std::process::exit(1);
+}
+
+fn progress_line(what: &str, progress: Progress) {
+    eprintln!(
+        "progress: {what} {}/{} done, {} quarantined",
+        progress.done, progress.total, progress.quarantined
+    );
 }
 
 /// Lockstep-checks every kernel over the verification database on every
@@ -100,11 +175,50 @@ fn conformance(options: &Options) -> u32 {
         seed: options.seed,
         ..TestConfig::default()
     });
+    // The conformance journal records one line per finished kernel:
+    // `case <slug> <divergence count>`. Clean kernels replay from the
+    // journal without re-running; diverged kernels re-run so the full
+    // divergence report is regenerated.
+    let fingerprint = {
+        let mut fp = Fingerprint::new("conformance");
+        fp.u64(options.samples as u64).u64(options.seed);
+        fp.finish()
+    };
+    let mut journaled: HashMap<String, u32> = HashMap::new();
+    let spec = options.journal_spec(None);
+    let mut journal = match &spec {
+        None => None,
+        Some(spec) if spec.resume => {
+            let (recovered, file) =
+                Journal::resume(&spec.path, "conformance", fingerprint).unwrap_or_else(|e| die(&e));
+            for line in &recovered.cases {
+                if let Some((slug, count)) = line.split_once(' ') {
+                    if let Ok(count) = count.parse() {
+                        journaled.insert(slug.to_string(), count);
+                    }
+                }
+            }
+            Some(file)
+        }
+        Some(spec) => {
+            Some(Journal::create(&spec.path, "conformance", fingerprint).unwrap_or_else(|e| die(&e)))
+        }
+    };
     let mut divergences = 0;
-    for kind in KernelKind::ALL {
-        let guest = codesign::framework::build_guest(kind, &vectors, 1)
-            .unwrap_or_else(|e| panic!("{kind}: {e}"));
-        let mut verdict = "all pairs agree";
+    for (done, kind) in KernelKind::ALL.into_iter().enumerate() {
+        if journaled.get(kind.slug()) == Some(&0) {
+            println!("  {kind:<16} all pairs agree");
+            continue;
+        }
+        let guest = match codesign::framework::build_guest(kind, &vectors, 1) {
+            Ok(guest) => guest,
+            Err(e) => {
+                divergences += 1;
+                println!("  {kind:<16} BUILD FAILED: {e}");
+                continue;
+            }
+        };
+        let mut kernel_divergences = 0;
         for pair in Pair::ALL {
             let outcome = run_guest_pair(&guest, pair, DEFAULT_CONTEXT);
             match outcome {
@@ -112,27 +226,38 @@ fn conformance(options: &Options) -> u32 {
                     termination: Termination::BudgetExhausted,
                     ..
                 } => {
-                    divergences += 1;
+                    kernel_divergences += 1;
                     println!(
                         "  {kind:<16} WARNING on {pair}: step budget ({}) exhausted before \
                          exit — a bounded hang, not a pass",
                         guest_budget(&guest)
                     );
-                    verdict = "";
                 }
                 outcome if !outcome.is_agreement() => {
-                    divergences += 1;
+                    kernel_divergences += 1;
                     println!("  {kind:<16} DIVERGED on {pair}:");
                     if let Some(divergence) = outcome.divergence() {
                         println!("{divergence}");
                     }
-                    verdict = "";
                 }
                 _ => {}
             }
         }
-        if !verdict.is_empty() {
-            println!("  {kind:<16} {verdict}");
+        if kernel_divergences == 0 {
+            println!("  {kind:<16} all pairs agree");
+        }
+        divergences += kernel_divergences;
+        if let Some(j) = journal.as_mut() {
+            j.append_case(&[kind.slug(), &kernel_divergences.to_string()])
+                .unwrap_or_else(|e| die(&e));
+            progress_line(
+                "conformance",
+                Progress {
+                    done: done + 1,
+                    total: KernelKind::ALL.len(),
+                    quarantined: 0,
+                },
+            );
         }
     }
     divergences
@@ -140,9 +265,10 @@ fn conformance(options: &Options) -> u32 {
 
 /// Runs the seeded fault-injection campaign on the plain and the
 /// fault-tolerant Method-1 guests. Returns the failure count: campaign
-/// errors (replays outside the four classes) always fail; silent data
-/// corruption fails only for the fault-tolerant kernel, whose whole job
-/// is to eliminate that class.
+/// errors (a golden run that fails, a guest with no commands) always
+/// fail; silent data corruption fails only for the fault-tolerant kernel,
+/// whose whole job is to eliminate that class. Quarantined cases are
+/// logged skips, not failures.
 fn faults(options: &Options) -> u32 {
     println!(
         "— faults: {} single-bit faults over a {}-sample guest, seed {}",
@@ -155,8 +281,14 @@ fn faults(options: &Options) -> u32 {
     });
     let mut failures = 0;
     for kind in KernelKind::FAULT_CAMPAIGN {
-        let guest = codesign::framework::build_guest(kind, &vectors, 1)
-            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let guest = match codesign::framework::build_guest(kind, &vectors, 1) {
+            Ok(guest) => guest,
+            Err(e) => {
+                failures += 1;
+                println!("  {:<28} BUILD FAILED: {e}", kind.name());
+                continue;
+            }
+        };
         let config = CampaignConfig {
             seed: options.seed,
             faults: options.faults,
@@ -164,18 +296,29 @@ fn faults(options: &Options) -> u32 {
             result_words: vectors.len(),
             ..CampaignConfig::default()
         };
-        let report = run_campaign(&guest.program, &config);
+        let spec = options.journal_spec(Some(kind.slug()));
+        let label = format!("faults[{}]", kind.slug());
+        let report = run_campaign_journaled(&guest.program, &config, spec.as_ref(), &mut |p| {
+            if spec.is_some() {
+                progress_line(&label, p);
+            }
+        })
+        .unwrap_or_else(|e| die(&e));
         let tally = report.tally();
         println!(
             "  {:<28} {} RoCC commands; {} masked, {} detected, {} caught-by-watchdog, {} \
-             silent-data-corruption",
+             silent-data-corruption, {} quarantined",
             kind.name(),
             report.total_commands,
             tally.masked,
             tally.detected,
             tally.caught_by_watchdog,
             tally.silent_data_corruption,
+            report.quarantined.len(),
         );
+        for case in &report.quarantined {
+            println!("  {:<28} QUARANTINED: {case}", kind.name());
+        }
         for error in &report.errors {
             failures += 1;
             println!("  {:<28} ERROR: {error}", kind.name());
@@ -202,13 +345,23 @@ fn fuzz(options: &Options) -> u32 {
         options.body_items,
         if options.with_rocc { "on" } else { "off" }
     );
-    let report = run_fuzz(&FuzzConfig {
-        seed: options.seed,
-        programs: options.programs,
-        body_items: options.body_items,
-        with_rocc: options.with_rocc,
-        ..FuzzConfig::default()
-    });
+    let spec = options.journal_spec(None);
+    let report = run_fuzz_journaled(
+        &FuzzConfig {
+            seed: options.seed,
+            programs: options.programs,
+            body_items: options.body_items,
+            with_rocc: options.with_rocc,
+            ..FuzzConfig::default()
+        },
+        spec.as_ref(),
+        &mut |p| {
+            if spec.is_some() {
+                progress_line("fuzz", p);
+            }
+        },
+    )
+    .unwrap_or_else(|e| die(&e));
     println!(
         "  {} programs, {} pair runs, {} instructions compared in lockstep",
         report.programs_run, report.pairs_checked, report.instructions_checked

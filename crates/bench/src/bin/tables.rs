@@ -9,7 +9,7 @@
 use codesign::framework::{time_native, NativeMethod};
 use codesign::kernels::KernelKind;
 use codesign::report;
-use decimal_bench::{atomic_config, evaluate_cycles, guest_for, rocket_timing, workload};
+use decimal_bench::{atomic_config, rocket_timing, try_evaluate_cycles, try_guest_for, workload};
 
 struct Options {
     what: String,
@@ -66,6 +66,13 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Reports a typed runtime failure (a kernel that fails to build, a result
+/// mismatch against the oracle) and exits nonzero without a panic.
+fn die(error: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {error}");
+    std::process::exit(1);
+}
+
 fn main() {
     let options = parse_args();
     let what = options.what.as_str();
@@ -109,7 +116,8 @@ fn seeds(options: &Options) {
     for kind in [KernelKind::Software, KernelKind::Method1] {
         let averages: Vec<f64> = (0..8u64)
             .map(|s| {
-                evaluate_cycles(kind, &vectors, rocket_timing(options.seed ^ (s * 0x9E37)))
+                try_evaluate_cycles(kind, &vectors, rocket_timing(options.seed ^ (s * 0x9E37)))
+                    .unwrap_or_else(|e| die(&e))
                     .avg_total_cycles
             })
             .collect();
@@ -150,7 +158,7 @@ fn classes(options: &Options) {
                 per_sample_marks: true,
             },
         )
-        .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        .unwrap_or_else(|e| die(&format!("{kind}: failed to build guest: {e}")));
         let breakdown = run_rocket_per_class(&guest, &vectors, timing);
         configs.push((kind.name().to_string(), breakdown));
     }
@@ -164,22 +172,25 @@ fn table4(options: &Options) {
         "[table4] running {} samples on the cycle-accurate core...",
         vectors.len()
     );
-    let kinds = [
+    // The baseline row is computed up front, so the "software row present"
+    // invariant holds by construction rather than by a runtime expect.
+    let baseline = report::Table4Row::from_eval(
+        KernelKind::Software,
+        &try_evaluate_cycles(KernelKind::Software, &vectors, timing).unwrap_or_else(|e| die(&e)),
+    );
+    let mut rows = Vec::new();
+    for kind in [
         KernelKind::Method1,
         KernelKind::Software,
         KernelKind::Method1Dummy,
-    ];
-    let mut rows = Vec::new();
-    let mut baseline = None;
-    for kind in kinds {
-        let eval = evaluate_cycles(kind, &vectors, timing);
-        let row = report::Table4Row::from_eval(kind, &eval);
+    ] {
         if kind == KernelKind::Software {
-            baseline = Some(row.clone());
+            rows.push(baseline.clone());
+            continue;
         }
-        rows.push(row);
+        let eval = try_evaluate_cycles(kind, &vectors, timing).unwrap_or_else(|e| die(&e));
+        rows.push(report::Table4Row::from_eval(kind, &eval));
     }
-    let baseline = baseline.expect("software row present");
     println!("{}", report::table4(&rows, &baseline));
 }
 
@@ -222,7 +233,7 @@ fn table6(options: &Options) {
         ("Method-1 using dummy function", KernelKind::Method1Dummy),
         ("Software (decNumber-style)", KernelKind::Software),
     ] {
-        let guest = guest_for(kind, &vectors);
+        let guest = try_guest_for(kind, &vectors).unwrap_or_else(|e| die(&e));
         let eval = codesign::framework::run_atomic(&guest, config);
         rows.push((label.to_string(), eval.simulated_seconds));
     }
@@ -253,7 +264,7 @@ fn pareto(options: &Options) {
     .into_iter()
     .zip(costs)
     {
-        let eval = evaluate_cycles(kind, &vectors, timing);
+        let eval = try_evaluate_cycles(kind, &vectors, timing).unwrap_or_else(|e| die(&e));
         entries.push((name, gates, eval.avg_total_cycles));
     }
     println!("{}", report::pareto_table(&entries));

@@ -45,14 +45,83 @@ pub fn atomic_config() -> AtomicConfig {
     }
 }
 
+/// A typed bench-harness failure, so the report binaries can exit with a
+/// clear message and a nonzero status instead of a panic backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// Kernel emission produced unassemblable source (a generator bug).
+    Build {
+        /// The kernel that failed to build.
+        kind: KernelKind,
+        /// The assembler/framework error text.
+        detail: String,
+    },
+    /// A non-dummy kernel's results disagreed with the oracle.
+    ResultMismatch {
+        /// The kernel whose results were wrong.
+        kind: KernelKind,
+        /// How many of the verified results mismatched.
+        mismatches: usize,
+    },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Build { kind, detail } => {
+                write!(f, "{kind}: failed to build guest: {detail}")
+            }
+            BenchError::ResultMismatch { kind, mismatches } => {
+                write!(f, "{kind}: {mismatches} result mismatch(es) against the oracle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Builds a guest for the canonical workload, reporting build failures as
+/// a typed [`BenchError`].
+pub fn try_guest_for(kind: KernelKind, vectors: &[TestVector]) -> Result<GuestProgram, BenchError> {
+    build_guest(kind, vectors, 1).map_err(|e| BenchError::Build {
+        kind,
+        detail: e.to_string(),
+    })
+}
+
 /// Builds a guest for the canonical workload.
 ///
 /// # Panics
 ///
 /// Panics if kernel emission produced unassemblable source (a bug).
+/// Binaries should prefer [`try_guest_for`]; this wrapper exists for the
+/// Criterion benches, where a panic is the right failure mode.
 #[must_use]
 pub fn guest_for(kind: KernelKind, vectors: &[TestVector]) -> GuestProgram {
-    build_guest(kind, vectors, 1).unwrap_or_else(|e| panic!("{kind}: {e}"))
+    try_guest_for(kind, vectors).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs one kernel cycle-accurately and verifies results against the
+/// oracle (unless the kernel is a dummy configuration), reporting both
+/// build failures and oracle mismatches as typed [`BenchError`]s.
+pub fn try_evaluate_cycles(
+    kind: KernelKind,
+    vectors: &[TestVector],
+    timing: TimingConfig,
+) -> Result<CycleEvaluation, BenchError> {
+    let guest = try_guest_for(kind, vectors)?;
+    let eval = run_rocket(&guest, timing);
+    if !kind.results_are_dummy() {
+        let mismatches = verify_results(&eval.results, vectors);
+        if !mismatches.is_empty() {
+            return Err(BenchError::ResultMismatch {
+                kind,
+                mismatches: mismatches.len(),
+            });
+        }
+    }
+    Ok(eval)
 }
 
 /// Runs one kernel cycle-accurately and verifies results against the
@@ -60,24 +129,15 @@ pub fn guest_for(kind: KernelKind, vectors: &[TestVector]) -> GuestProgram {
 ///
 /// # Panics
 ///
-/// Panics on result mismatches for non-dummy kernels.
+/// Panics on result mismatches for non-dummy kernels. Binaries should
+/// prefer [`try_evaluate_cycles`].
 #[must_use]
 pub fn evaluate_cycles(
     kind: KernelKind,
     vectors: &[TestVector],
     timing: TimingConfig,
 ) -> CycleEvaluation {
-    let guest = guest_for(kind, vectors);
-    let eval = run_rocket(&guest, timing);
-    if !kind.results_are_dummy() {
-        let mismatches = verify_results(&eval.results, vectors);
-        assert!(
-            mismatches.is_empty(),
-            "{kind}: {} result mismatches",
-            mismatches.len()
-        );
-    }
-    eval
+    try_evaluate_cycles(kind, vectors, timing).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

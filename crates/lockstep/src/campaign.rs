@@ -26,7 +26,9 @@
 //! campaign is exactly reproducible from `(program, seed, faults)`.
 
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Duration;
 
 use riscv_asm::Program;
 use riscv_isa::csr::cause;
@@ -35,6 +37,8 @@ use rocc::{DecimalAccelerator, DecimalFunct};
 
 use crate::fuzz::SplitMix64;
 use crate::guest::load_program;
+use crate::journal::{Fingerprint, Journal, JournalError, JournalSpec, Progress};
+use crate::supervisor::{run_case, supervise, CaseBudget, RetryPolicy, RunOutcome, WedgeReason};
 
 /// One single-bit (or single-latch) fault in accelerator state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +58,37 @@ pub enum FaultTarget {
     FsmWedge,
     /// Force the FSM state register into `Error` without a latched cause.
     FsmError,
+}
+
+impl FaultTarget {
+    /// Space-free stable token (journal format).
+    #[must_use]
+    pub fn token(self) -> String {
+        match self {
+            FaultTarget::RegisterBit { index, bit } => format!("reg:{index}:{bit}"),
+            FaultTarget::CarryFlip => "carry".to_string(),
+            FaultTarget::FsmWedge => "wedge".to_string(),
+            FaultTarget::FsmError => "fsmerr".to_string(),
+        }
+    }
+
+    /// Parses a [`FaultTarget::token`] back.
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<FaultTarget> {
+        match token {
+            "carry" => Some(FaultTarget::CarryFlip),
+            "wedge" => Some(FaultTarget::FsmWedge),
+            "fsmerr" => Some(FaultTarget::FsmError),
+            reg => {
+                let rest = reg.strip_prefix("reg:")?;
+                let (index, bit) = rest.split_once(':')?;
+                Some(FaultTarget::RegisterBit {
+                    index: index.parse().ok()?,
+                    bit: bit.parse().ok()?,
+                })
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for FaultTarget {
@@ -200,6 +235,21 @@ pub enum FaultOutcome {
     SilentDataCorruption,
 }
 
+impl FaultOutcome {
+    /// Parses the [`Display`](std::fmt::Display) token back (the journal
+    /// stores outcomes in display form).
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<FaultOutcome> {
+        match token {
+            "masked" => Some(FaultOutcome::Masked),
+            "detected" => Some(FaultOutcome::Detected),
+            "caught-by-watchdog" => Some(FaultOutcome::CaughtByWatchdog),
+            "silent-data-corruption" => Some(FaultOutcome::SilentDataCorruption),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for FaultOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
@@ -240,6 +290,17 @@ pub struct CampaignConfig {
     /// Data symbol of a degradation counter (fault-tolerant kernels); an
     /// advance past the golden value counts as in-band detection.
     pub degraded_symbol: Option<String>,
+    /// Cap on mapped guest pages per replay (a fault can turn a store
+    /// loop into a memory hog).
+    pub memory_page_cap: Option<usize>,
+    /// Wall-clock budget per replay attempt, if any.
+    pub wall_clock: Option<Duration>,
+    /// Attempts (first run included) granted to a replay that wedges
+    /// before it is quarantined.
+    pub max_wedge_attempts: u32,
+    /// Backoff before the first wedge retry (doubling); zero disables
+    /// sleeping.
+    pub retry_backoff: Duration,
 }
 
 impl Default for CampaignConfig {
@@ -251,22 +312,57 @@ impl Default for CampaignConfig {
             results_symbol: Some("results".to_string()),
             result_words: 0,
             degraded_symbol: Some("ft_degraded".to_string()),
+            memory_page_cap: Some(4096),
+            wall_clock: None,
+            max_wedge_attempts: 3,
+            retry_backoff: Duration::from_millis(10),
         }
     }
 }
 
+/// A planned fault whose replay never produced a classifiable completion:
+/// it stayed wedged through every granted attempt, exhausted a budget, or
+/// died on an unhandled fault. The campaign logs it and moves on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedCase {
+    /// Position in the campaign plan.
+    pub index: usize,
+    /// Command index the fault preceded.
+    pub at_command: u64,
+    /// What was flipped.
+    pub target: FaultTarget,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// The final attempt's [`RunOutcome`] token.
+    pub outcome: String,
+}
+
+impl std::fmt::Display for QuarantinedCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault {} before command {} quarantined after {} attempt(s): {}",
+            self.target, self.at_command, self.attempts, self.outcome
+        )
+    }
+}
+
 /// The campaign's result: the golden baseline, every classified record,
-/// and any replay that escaped the four classes (must be empty).
-#[derive(Debug, Clone)]
+/// the quarantined cases, and any setup failure (must be empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignReport {
     /// RoCC commands the golden run issued (the samplable index space).
     pub total_commands: u64,
     /// The golden run's exit code.
     pub golden_exit: i64,
-    /// One record per injected fault, in plan order.
+    /// One record per classified fault, in plan order.
     pub records: Vec<FaultRecord>,
-    /// Replays that ended outside the four classes (budget exhaustion, an
-    /// unexpected fault). A sound protocol leaves this empty.
+    /// Faults whose replays never completed: wedged past the retry bound,
+    /// over a budget, or dead on an unhandled fault. Each is a logged
+    /// skip — the campaign still completes and classifies the rest.
+    pub quarantined: Vec<QuarantinedCase>,
+    /// Campaign-level failures (golden run failed, no commands to inject
+    /// into). A sound setup leaves this empty.
     pub errors: Vec<String>,
 }
 
@@ -330,15 +426,191 @@ fn sample_target(rng: &mut SplitMix64) -> FaultTarget {
     }
 }
 
-/// Runs a full campaign over `program`.
+/// The golden run's observables, against which every replay is judged.
+struct GoldenBaseline {
+    exit: i64,
+    results: Option<Vec<u64>>,
+    degraded: Option<u64>,
+}
+
+/// How one supervised replay ended.
+enum CaseResult {
+    /// The replay completed (or was watchdog-bounded) and was classified.
+    Classified(FaultOutcome),
+    /// The replay never completed; logged and skipped.
+    Quarantined {
+        attempts: u32,
+        outcome: RunOutcome,
+    },
+    /// A quarantine decision reconstructed from the journal: only the
+    /// stable outcome token survives the round trip.
+    QuarantinedReplayed {
+        attempts: u32,
+        token: String,
+    },
+}
+
+/// Runs one fault replay under the supervisor and classifies it.
+fn replay_case(
+    program: &Program,
+    config: &CampaignConfig,
+    golden: &GoldenBaseline,
+    at_command: u64,
+    target: FaultTarget,
+) -> CaseResult {
+    let budget = CaseBudget {
+        instruction_fuel: config.instruction_budget,
+        memory_pages: config.memory_page_cap,
+        wall_clock: config.wall_clock,
+    };
+    let policy = RetryPolicy {
+        max_attempts: config.max_wedge_attempts,
+        backoff: config.retry_backoff,
+    };
+    // Each attempt builds a fresh core and accelerator, so a wedge cannot
+    // leak state into its own retry; the last attempt's machine is kept
+    // for classification.
+    let mut last: Option<(Cpu, FaultProbe)> = None;
+    let run = supervise(&policy, || {
+        let (accelerator, probe) = FaultInjectingAccelerator::new(target, at_command);
+        let mut cpu = Cpu::new();
+        cpu.attach_coprocessor(Box::new(accelerator));
+        load_program(&mut cpu, program);
+        let outcome = run_case(&mut cpu, &budget);
+        last = Some((cpu, probe));
+        outcome
+    });
+    let (cpu, probe) = last.expect("supervise runs the attempt at least once");
+    match run.outcome {
+        RunOutcome::Completed { exit_code } => {
+            let watchdog_trapped = cpu.trap_log.iter().any(|t| t.cause == cause::ROCC_TIMEOUT);
+            let results = config
+                .results_symbol
+                .as_deref()
+                .and_then(|s| read_words(&cpu.memory, program, s, config.result_words));
+            let degraded = config
+                .degraded_symbol
+                .as_deref()
+                .and_then(|s| read_counter(&cpu.memory, program, s));
+            let corrupted = exit_code != golden.exit || results != golden.results;
+            let in_band = probe.stat_detected()
+                || matches!((golden.degraded, degraded), (Some(g), Some(d)) if d > g);
+            CaseResult::Classified(if watchdog_trapped {
+                FaultOutcome::CaughtByWatchdog
+            } else if corrupted {
+                FaultOutcome::SilentDataCorruption
+            } else if in_band {
+                FaultOutcome::Detected
+            } else {
+                FaultOutcome::Masked
+            })
+        }
+        // Watchdog surfaced as a hard fault: no trap vector was armed.
+        // Bounded in time, so it is a classification, not a skip.
+        RunOutcome::Wedged {
+            reason: WedgeReason::WatchdogAbort,
+        } => CaseResult::Classified(FaultOutcome::CaughtByWatchdog),
+        outcome => CaseResult::Quarantined {
+            attempts: run.attempts,
+            outcome,
+        },
+    }
+}
+
+/// Binds a journal to everything that shapes the campaign's case stream:
+/// the plan parameters, the classification symbols, the quarantine bounds,
+/// and the program itself.
+fn campaign_fingerprint(program: &Program, config: &CampaignConfig) -> u64 {
+    let mut fp = Fingerprint::new("faults");
+    fp.u64(config.seed)
+        .u64(config.faults as u64)
+        .u64(config.instruction_budget)
+        .u64(config.result_words as u64)
+        .bytes(config.results_symbol.as_deref().unwrap_or("").as_bytes())
+        .bytes(config.degraded_symbol.as_deref().unwrap_or("").as_bytes())
+        .u64(config.memory_page_cap.map_or(u64::MAX, |c| c as u64))
+        .u64(u64::from(config.max_wedge_attempts))
+        .u64(program.entry);
+    for segment in program.segments() {
+        fp.u64(segment.base).bytes(&segment.data);
+    }
+    fp.finish()
+}
+
+/// One parsed journal line: `(at_command, target token, outcome field)`.
+type JournaledCase = (u64, String, String);
+
+fn parse_journaled_cases(lines: &[String]) -> HashMap<usize, JournaledCase> {
+    let mut cases = HashMap::new();
+    for line in lines {
+        let fields: Vec<&str> = line.split(' ').collect();
+        if let [index, at_command, target, outcome] = fields[..] {
+            if let (Ok(index), Ok(at_command)) = (index.parse(), at_command.parse()) {
+                // Later lines win: a re-run after a rejected replay
+                // supersedes the stale record.
+                cases.insert(index, (at_command, target.to_string(), outcome.to_string()));
+            }
+        }
+    }
+    cases
+}
+
+/// Reconstructs the in-memory result of a journaled case, if its plan
+/// coordinates still match and its outcome field parses.
+fn replay_from_journal(
+    entry: &JournaledCase,
+    at_command: u64,
+    target: FaultTarget,
+) -> Option<CaseResult> {
+    let (journaled_at, journaled_target, outcome) = entry;
+    if *journaled_at != at_command || *journaled_target != target.token() {
+        return None;
+    }
+    if let Some(rest) = outcome.strip_prefix("quarantined:") {
+        let (attempts, token) = rest.split_once(':')?;
+        Some(CaseResult::QuarantinedReplayed {
+            attempts: attempts.parse().ok()?,
+            token: token.to_string(),
+        })
+    } else {
+        FaultOutcome::from_token(outcome).map(CaseResult::Classified)
+    }
+}
+
+/// Runs a full campaign over `program` (unjournaled convenience wrapper
+/// around [`run_campaign_journaled`]).
 ///
-/// The golden run must complete with exit code 0 within the budget;
-/// otherwise the report carries a single error and no records. Replays
-/// never panic the host: every failure mode is either classified or
-/// reported in [`CampaignReport::errors`].
+/// The golden run must complete within the budget; otherwise the report
+/// carries a single error and no records. Replays never panic the host:
+/// every replay is either classified or quarantined.
 #[must_use]
 pub fn run_campaign(program: &Program, config: &CampaignConfig) -> CampaignReport {
-    // ---- golden run ----
+    run_campaign_journaled(program, config, None, &mut |_| {})
+        .expect("a campaign without a journal performs no fallible I/O")
+}
+
+/// Runs a campaign with an optional write-ahead journal and progress
+/// callback.
+///
+/// With a [`JournalSpec`], every completed case is appended (and flushed)
+/// before the next one starts; with `resume` set, cases already covered by
+/// an intact journal prefix are reconstructed from it instead of re-run.
+/// The per-fault plan is always re-drawn from the seed — journal entries
+/// only short-circuit the expensive replays — so a resumed campaign's
+/// report is byte-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// Journal I/O failures and header mismatches ([`JournalError`]). A
+/// journal-less run never fails.
+pub fn run_campaign_journaled(
+    program: &Program,
+    config: &CampaignConfig,
+    journal: Option<&JournalSpec>,
+    progress: &mut dyn FnMut(Progress),
+) -> Result<CampaignReport, JournalError> {
+    // ---- golden run (always performed: cheap, deterministic, and the
+    // baseline every journaled classification was judged against) ----
     let (accelerator, probe) = FaultInjectingAccelerator::golden();
     let mut cpu = Cpu::new();
     cpu.attach_coprocessor(Box::new(accelerator));
@@ -346,92 +618,136 @@ pub fn run_campaign(program: &Program, config: &CampaignConfig) -> CampaignRepor
     let golden_exit = match cpu.run(config.instruction_budget) {
         Ok(code) => code,
         Err(e) => {
-            return CampaignReport {
+            return Ok(CampaignReport {
                 total_commands: probe.commands_seen(),
                 golden_exit: -1,
                 records: Vec::new(),
+                quarantined: Vec::new(),
                 errors: vec![format!("golden run failed: {e}")],
-            }
+            })
         }
     };
     let total_commands = probe.commands_seen();
-    let golden_results = config
-        .results_symbol
-        .as_deref()
-        .and_then(|s| read_words(&cpu.memory, program, s, config.result_words));
-    let golden_degraded = config
-        .degraded_symbol
-        .as_deref()
-        .and_then(|s| read_counter(&cpu.memory, program, s));
+    let golden = GoldenBaseline {
+        exit: golden_exit,
+        results: config
+            .results_symbol
+            .as_deref()
+            .and_then(|s| read_words(&cpu.memory, program, s, config.result_words)),
+        degraded: config
+            .degraded_symbol
+            .as_deref()
+            .and_then(|s| read_counter(&cpu.memory, program, s)),
+    };
     if total_commands == 0 {
-        return CampaignReport {
+        return Ok(CampaignReport {
             total_commands,
             golden_exit,
             records: Vec::new(),
+            quarantined: Vec::new(),
             errors: vec!["guest issued no RoCC commands; nothing to inject into".to_string()],
-        };
+        });
     }
+
+    // ---- journal recovery ----
+    let fingerprint = campaign_fingerprint(program, config);
+    let mut journaled = HashMap::new();
+    let mut journal_file = match journal {
+        None => None,
+        Some(spec) if spec.resume => {
+            let (recovered, file) = Journal::resume(&spec.path, "faults", fingerprint)?;
+            journaled = parse_journaled_cases(&recovered.cases);
+            Some(file)
+        }
+        Some(spec) => Some(Journal::create(&spec.path, "faults", fingerprint)?),
+    };
 
     // ---- planned replays ----
     let mut rng = SplitMix64::new(config.seed);
     let mut records = Vec::with_capacity(config.faults);
-    let mut errors = Vec::new();
-    for _ in 0..config.faults {
+    let mut quarantined = Vec::new();
+    for index in 0..config.faults {
+        // The plan is always drawn, journaled case or not, so the rng
+        // stream stays aligned with the uninterrupted run.
         let at_command = rng.below(total_commands);
         let target = sample_target(&mut rng);
-        let (accelerator, probe) = FaultInjectingAccelerator::new(target, at_command);
-        let mut cpu = Cpu::new();
-        cpu.attach_coprocessor(Box::new(accelerator));
-        load_program(&mut cpu, program);
-        let run = cpu.run(config.instruction_budget);
-        let watchdog_trapped = cpu
-            .trap_log
-            .iter()
-            .any(|t| t.cause == cause::ROCC_TIMEOUT);
-        let outcome = match run {
-            // Watchdog surfaced as a hard fault: no trap vector was armed.
-            Err(CpuError::RoccTimeout { .. }) => FaultOutcome::CaughtByWatchdog,
-            Err(e) => {
-                errors.push(format!(
-                    "fault {target} before command {at_command}: unclassified failure: {e}"
-                ));
-                continue;
+        let (result, from_journal) = match journaled
+            .get(&index)
+            .and_then(|entry| replay_from_journal(entry, at_command, target))
+        {
+            Some(result) => (result, true),
+            None => (
+                replay_case(program, config, &golden, at_command, target),
+                false,
+            ),
+        };
+        let outcome_field = match result {
+            CaseResult::Classified(outcome) => {
+                records.push(FaultRecord {
+                    at_command,
+                    target,
+                    outcome,
+                });
+                outcome.to_string()
             }
-            Ok(code) => {
-                let results = config
-                    .results_symbol
-                    .as_deref()
-                    .and_then(|s| read_words(&cpu.memory, program, s, config.result_words));
-                let degraded = config
-                    .degraded_symbol
-                    .as_deref()
-                    .and_then(|s| read_counter(&cpu.memory, program, s));
-                let corrupted = code != golden_exit || results != golden_results;
-                let in_band = probe.stat_detected()
-                    || matches!((golden_degraded, degraded), (Some(g), Some(d)) if d > g);
-                if watchdog_trapped {
-                    FaultOutcome::CaughtByWatchdog
-                } else if corrupted {
-                    FaultOutcome::SilentDataCorruption
-                } else if in_band {
-                    FaultOutcome::Detected
-                } else {
-                    FaultOutcome::Masked
-                }
+            CaseResult::Quarantined { attempts, outcome } => {
+                let token = outcome.token();
+                quarantined.push(QuarantinedCase {
+                    index,
+                    at_command,
+                    target,
+                    attempts,
+                    outcome: token.clone(),
+                });
+                format!("quarantined:{attempts}:{token}")
+            }
+            CaseResult::QuarantinedReplayed { attempts, token } => {
+                quarantined.push(QuarantinedCase {
+                    index,
+                    at_command,
+                    target,
+                    attempts,
+                    outcome: token.clone(),
+                });
+                format!("quarantined:{attempts}:{token}")
             }
         };
-        records.push(FaultRecord {
-            at_command,
-            target,
-            outcome,
-        });
+        if let Some(j) = journal_file.as_mut() {
+            if !from_journal {
+                j.append_case(&[
+                    &index.to_string(),
+                    &at_command.to_string(),
+                    &target.token(),
+                    &outcome_field,
+                ])?;
+            }
+        }
+        let done = index + 1;
+        if let Some(spec) = journal {
+            if spec.checkpoint_every > 0 && done.is_multiple_of(spec.checkpoint_every) {
+                if let (Some(j), false) = (journal_file.as_mut(), from_journal) {
+                    j.checkpoint(done)?;
+                }
+                progress(Progress {
+                    done,
+                    total: config.faults,
+                    quarantined: quarantined.len(),
+                });
+            }
+        }
     }
-    CampaignReport {
+    progress(Progress {
+        done: config.faults,
+        total: config.faults,
+        quarantined: quarantined.len(),
+    });
+    Ok(CampaignReport {
         total_commands,
         golden_exit,
         records,
-        errors,
-    }
+        quarantined,
+        errors: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -482,6 +798,124 @@ mod tests {
         assert_eq!(a.records, b.records);
         assert!(a.ok(), "{:?}", a.errors);
         assert_eq!(a.total_commands, 8);
+    }
+
+    /// A guest that retries a DEC_ADD until it yields the expected sum,
+    /// with a trap handler that restarts the retry loop. Against a healthy
+    /// accelerator it exits first try; against a wedged one it livelocks
+    /// (the sticky Error state answers every retry with a benign zero), so
+    /// the supervisor must quarantine it for the campaign to finish.
+    fn retrying_guest() -> Program {
+        assemble(
+            "
+            start:
+                la   t0, handler
+                csrrw zero, 0x305, t0
+            retry:
+                li   t0, 0x15
+                li   t1, 0x27
+                custom0 4, t2, t0, t1, 1, 1, 1
+                li   t3, 0x42
+                bne  t2, t3, retry
+                la   t0, results
+                sd   t2, 0(t0)
+                li   a0, 0
+                li   a7, 93
+                ecall
+            handler:
+                la   t4, retry
+                csrrw zero, 0x341, t4
+                mret
+                .data
+            .align 3
+            results:
+                .space 8
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wedged_case_is_quarantined_and_the_campaign_completes() {
+        let program = retrying_guest();
+        let config = CampaignConfig {
+            faults: 40,
+            result_words: 1,
+            instruction_budget: 20_000,
+            max_wedge_attempts: 3,
+            retry_backoff: Duration::ZERO,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&program, &config);
+        assert!(report.ok(), "{:?}", report.errors);
+        // Every planned fault is accounted for: classified or quarantined.
+        assert_eq!(report.records.len() + report.quarantined.len(), 40);
+        assert!(
+            !report.quarantined.is_empty(),
+            "FSM wedges against a retrying guest must quarantine"
+        );
+        // A wedge livelocks the retry loop: the supervisor burns all its
+        // attempts before giving up.
+        assert!(
+            report
+                .quarantined
+                .iter()
+                .any(|q| q.attempts == 3 && q.outcome == "wedged:livelock"),
+            "{:?}",
+            report.quarantined
+        );
+        // The quarantine did not eat the ordinary classes.
+        assert!(report.tally().masked > 0);
+        // Deterministic: an identical run reproduces the report exactly.
+        assert_eq!(run_campaign(&program, &config), report);
+    }
+
+    #[test]
+    fn journaled_campaign_resumes_to_an_identical_report() {
+        let program = add_guest();
+        let config = CampaignConfig {
+            faults: 30,
+            result_words: 1,
+            ..CampaignConfig::default()
+        };
+        let mut path = std::env::temp_dir();
+        path.push(format!("campaign-unit-{}.journal", std::process::id()));
+        let spec = JournalSpec {
+            path: path.clone(),
+            resume: false,
+            checkpoint_every: 7,
+        };
+        let full = run_campaign_journaled(&program, &config, Some(&spec), &mut |_| {}).unwrap();
+        // Truncate the journal to a prefix (simulating a crash), then
+        // resume: the report must come out identical.
+        let bytes = std::fs::read(&path).unwrap();
+        let cut: usize = bytes.len() / 2;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let resume = JournalSpec {
+            path: path.clone(),
+            resume: true,
+            checkpoint_every: 7,
+        };
+        let mut progress_calls = 0;
+        let resumed =
+            run_campaign_journaled(&program, &config, Some(&resume), &mut |_| progress_calls += 1)
+                .unwrap();
+        assert_eq!(resumed, full);
+        assert!(progress_calls > 0);
+        // A second resume over the now-complete journal is pure replay.
+        let replayed =
+            run_campaign_journaled(&program, &config, Some(&resume), &mut |_| {}).unwrap();
+        assert_eq!(replayed, full);
+        // A different seed must refuse the journal.
+        let other = CampaignConfig {
+            seed: 7,
+            ..config.clone()
+        };
+        assert!(matches!(
+            run_campaign_journaled(&program, &other, Some(&resume), &mut |_| {}),
+            Err(JournalError::Fingerprint { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -11,6 +11,7 @@ use riscv_asm::assemble;
 
 use crate::compare::{Divergence, LockstepOptions, LockstepOutcome};
 use crate::guest::{run_program_pair, Pair};
+use crate::journal::{Fingerprint, Journal, JournalError, JournalSpec, Progress};
 
 /// A tiny deterministic generator (splitmix64) — the fuzzer's only source
 /// of randomness, so every program is reproducible from its seed.
@@ -415,6 +416,68 @@ pub fn shrink_items(items: Vec<Item>, reproduces: &dyn Fn(&[Item]) -> bool) -> V
     }
 }
 
+/// The outcome of fuzzing one program index across every simulator pair.
+struct ProgramResult {
+    pairs_checked: u64,
+    instructions_checked: u64,
+    failures: Vec<FuzzFailure>,
+}
+
+/// Generates, runs, and (on divergence) shrinks program `index`.
+fn fuzz_program(config: &FuzzConfig, options: &LockstepOptions, index: u32) -> ProgramResult {
+    let mut result = ProgramResult {
+        pairs_checked: 0,
+        instructions_checked: 0,
+        failures: Vec::new(),
+    };
+    let mut rng = program_rng(config.seed, index);
+    let items = generate_items(&mut rng, config.body_items, config.with_rocc);
+    // The data/prologue seeds must not depend on which items survive
+    // shrinking, so render against a fixed tail stream.
+    let tail_rng = rng.clone();
+    let render = |items: &[Item]| render_program(items, &mut tail_rng.clone());
+    let source = render(&items);
+    let program = assemble(&source)
+        .unwrap_or_else(|e| panic!("generated program {index} does not assemble: {e}"));
+    for pair in Pair::ALL {
+        result.pairs_checked += 1;
+        let outcome = run_program_pair(&program, pair, config.with_rocc, options);
+        match outcome {
+            LockstepOutcome::Agreement { instructions, .. } => {
+                result.instructions_checked += instructions;
+            }
+            LockstepOutcome::Divergence(_) => {
+                let reproduces = |candidate: &[Item]| {
+                    let Ok(program) = assemble(&render(candidate)) else {
+                        // A removed label some branch still targets:
+                        // this candidate is invalid, not minimal.
+                        return false;
+                    };
+                    !run_program_pair(&program, pair, config.with_rocc, options).is_agreement()
+                };
+                let shrunk = shrink_items(items.clone(), &reproduces);
+                let shrunk_source = render(&shrunk);
+                let shrunk_program =
+                    assemble(&shrunk_source).expect("shrunk candidate assembled before");
+                let final_outcome =
+                    run_program_pair(&shrunk_program, pair, config.with_rocc, options);
+                let divergence = final_outcome
+                    .divergence()
+                    .expect("shrinker only keeps reproducing candidates")
+                    .clone();
+                result.failures.push(FuzzFailure {
+                    program_index: index,
+                    pair,
+                    source: source.clone(),
+                    shrunk_source,
+                    divergence,
+                });
+            }
+        }
+    }
+    result
+}
+
 /// Runs the full differential fuzzing campaign: every generated program on
 /// every simulator pair, shrinking any failure before reporting it.
 ///
@@ -424,9 +487,70 @@ pub fn shrink_items(items: Vec<Item>, reproduces: &dyn Fn(&[Item]) -> bool) -> V
 /// bug, not a simulator divergence.
 #[must_use]
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    run_fuzz_journaled(config, None, &mut |_| {})
+        .expect("a fuzz run without a journal performs no fallible I/O")
+}
+
+/// Binds a fuzz journal to everything that shapes the program stream.
+fn fuzz_fingerprint(config: &FuzzConfig) -> u64 {
+    let mut fp = Fingerprint::new("fuzz");
+    fp.u64(config.seed)
+        .u64(u64::from(config.programs))
+        .u64(config.body_items as u64)
+        .u64(u64::from(config.with_rocc))
+        .u64(config.max_instructions);
+    fp.finish()
+}
+
+/// Runs the fuzzing campaign with an optional write-ahead journal and
+/// progress callback.
+///
+/// Each journal line records one completed program: its index, the
+/// instructions it contributed, the pairs it checked, and its failure
+/// count. On resume, clean programs are credited from the journal without
+/// re-running; diverged programs are re-run (everything is deterministic
+/// in the seed) to regenerate the full shrunk failure report.
+///
+/// # Errors
+///
+/// Journal I/O failures and header mismatches ([`JournalError`]).
+///
+/// # Panics
+///
+/// Panics if a generated program fails to assemble (a generator bug).
+pub fn run_fuzz_journaled(
+    config: &FuzzConfig,
+    journal: Option<&JournalSpec>,
+    progress: &mut dyn FnMut(Progress),
+) -> Result<FuzzReport, JournalError> {
     let options = LockstepOptions {
         max_instructions: config.max_instructions,
         ..LockstepOptions::default()
+    };
+    let fingerprint = fuzz_fingerprint(config);
+    // index -> (instructions, pairs, failure count)
+    let mut journaled: std::collections::HashMap<u32, (u64, u64, usize)> =
+        std::collections::HashMap::new();
+    let mut journal_file = match journal {
+        None => None,
+        Some(spec) if spec.resume => {
+            let (recovered, file) = Journal::resume(&spec.path, "fuzz", fingerprint)?;
+            for line in &recovered.cases {
+                let fields: Vec<&str> = line.split(' ').collect();
+                if let [index, instructions, pairs, failures] = fields[..] {
+                    if let (Ok(i), Ok(n), Ok(p), Ok(f)) = (
+                        index.parse(),
+                        instructions.parse(),
+                        pairs.parse(),
+                        failures.parse(),
+                    ) {
+                        journaled.insert(i, (n, p, f));
+                    }
+                }
+            }
+            Some(file)
+        }
+        Some(spec) => Some(Journal::create(&spec.path, "fuzz", fingerprint)?),
     };
     let mut report = FuzzReport {
         programs_run: 0,
@@ -434,54 +558,53 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
         instructions_checked: 0,
         failures: Vec::new(),
     };
+    let mut failed_programs = 0usize;
     for index in 0..config.programs {
-        let mut rng = program_rng(config.seed, index);
-        let items = generate_items(&mut rng, config.body_items, config.with_rocc);
-        // The data/prologue seeds must not depend on which items survive
-        // shrinking, so render against a fixed tail stream.
-        let tail_rng = rng.clone();
-        let render = |items: &[Item]| render_program(items, &mut tail_rng.clone());
-        let source = render(&items);
-        let program = assemble(&source)
-            .unwrap_or_else(|e| panic!("generated program {index} does not assemble: {e}"));
+        // A journaled clean program is credited without re-running; a
+        // journaled diverged program re-runs to regenerate its shrunk
+        // failure (the run is deterministic, so the journal only needs
+        // the fact of the failure, not its details).
+        let from_journal = matches!(journaled.get(&index), Some(&(_, _, 0)));
+        if from_journal {
+            let &(instructions, pairs, _) = journaled.get(&index).expect("checked above");
+            report.instructions_checked += instructions;
+            report.pairs_checked += pairs;
+        } else {
+            let result = fuzz_program(config, &options, index);
+            report.pairs_checked += result.pairs_checked;
+            report.instructions_checked += result.instructions_checked;
+            failed_programs += usize::from(!result.failures.is_empty());
+            if let Some(j) = journal_file.as_mut() {
+                if !journaled.contains_key(&index) {
+                    j.append_case(&[
+                        &index.to_string(),
+                        &result.instructions_checked.to_string(),
+                        &result.pairs_checked.to_string(),
+                        &result.failures.len().to_string(),
+                    ])?;
+                }
+            }
+            report.failures.extend(result.failures);
+        }
         report.programs_run += 1;
-        for pair in Pair::ALL {
-            report.pairs_checked += 1;
-            let outcome = run_program_pair(&program, pair, config.with_rocc, &options);
-            match outcome {
-                LockstepOutcome::Agreement { instructions, .. } => {
-                    report.instructions_checked += instructions;
+        let done = (index + 1) as usize;
+        if let Some(spec) = journal {
+            if spec.checkpoint_every > 0 && done.is_multiple_of(spec.checkpoint_every) {
+                if let (Some(j), false) = (journal_file.as_mut(), from_journal) {
+                    j.checkpoint(done)?;
                 }
-                LockstepOutcome::Divergence(_) => {
-                    let reproduces = |candidate: &[Item]| {
-                        let Ok(program) = assemble(&render(candidate)) else {
-                            // A removed label some branch still targets:
-                            // this candidate is invalid, not minimal.
-                            return false;
-                        };
-                        !run_program_pair(&program, pair, config.with_rocc, &options)
-                            .is_agreement()
-                    };
-                    let shrunk = shrink_items(items.clone(), &reproduces);
-                    let shrunk_source = render(&shrunk);
-                    let shrunk_program =
-                        assemble(&shrunk_source).expect("shrunk candidate assembled before");
-                    let final_outcome =
-                        run_program_pair(&shrunk_program, pair, config.with_rocc, &options);
-                    let divergence = final_outcome
-                        .divergence()
-                        .expect("shrinker only keeps reproducing candidates")
-                        .clone();
-                    report.failures.push(FuzzFailure {
-                        program_index: index,
-                        pair,
-                        source: source.clone(),
-                        shrunk_source,
-                        divergence,
-                    });
-                }
+                progress(Progress {
+                    done,
+                    total: config.programs as usize,
+                    quarantined: failed_programs,
+                });
             }
         }
     }
-    report
+    progress(Progress {
+        done: config.programs as usize,
+        total: config.programs as usize,
+        quarantined: failed_programs,
+    });
+    Ok(report)
 }

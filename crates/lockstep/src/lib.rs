@@ -26,7 +26,14 @@
 //! * the [`campaign`] module runs seeded single-bit fault-injection
 //!   campaigns over the accelerator's architectural state, classifying
 //!   every fault as masked, detected in-band, caught by the watchdog, or
-//!   silent data corruption.
+//!   silent data corruption;
+//! * the [`supervisor`] module bounds every replayed case with instruction
+//!   fuel, a memory-page cap, and a wall-clock budget, classifies every
+//!   termination into a typed [`supervisor::RunOutcome`], and retries
+//!   wedged cases a bounded number of times before quarantining them;
+//! * the [`journal`] module provides the append-only, checksummed
+//!   write-ahead journal that makes campaigns resumable: a killed run
+//!   restarted with its journal completes with a byte-identical report.
 //!
 //! Cycle counts are timing, not architecture: guest `rdcycle` values
 //! legitimately differ across timing models and are masked by the
@@ -56,7 +63,9 @@ mod compare;
 pub mod fuzz;
 mod guest;
 pub mod inject;
+pub mod journal;
 pub mod rocc_diff;
+pub mod supervisor;
 
 pub use compare::{
     canonical, run_lockstep, Divergence, LockstepOptions, LockstepOutcome, LockstepSim, RegDelta,

@@ -9,6 +9,7 @@
 
 use riscv_isa::rocc::RoccInstruction;
 
+use crate::snapshot::{CoprocSnapshot, SnapshotError};
 use crate::{CpuError, Memory};
 
 /// A command sent to an accelerator over the RoCC `cmd` interface: the
@@ -82,6 +83,31 @@ pub trait Coprocessor {
 
     /// Resets all architectural accelerator state.
     fn reset(&mut self);
+
+    /// Serializes the accelerator's architectural state for a machine
+    /// snapshot. The default — for coprocessors with no state worth
+    /// carrying across a snapshot — returns `None`, in which case
+    /// [`Coprocessor::restore_state`] is never called on restore and the
+    /// coprocessor is [`Coprocessor::reset`] instead.
+    fn snapshot_state(&self) -> Option<CoprocSnapshot> {
+        None
+    }
+
+    /// Restores state previously captured by
+    /// [`Coprocessor::snapshot_state`]. The default rejects every
+    /// snapshot: a stateful snapshot cannot be restored into a
+    /// coprocessor that never produces one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Coprocessor`] when the snapshot tag does
+    /// not belong to this implementation, or a decode error for corrupt
+    /// state bytes.
+    fn restore_state(&mut self, snapshot: &CoprocSnapshot) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Coprocessor {
+            found: snapshot.tag,
+        })
+    }
 }
 
 /// A coprocessor port with nothing attached: any custom instruction faults.

@@ -4,6 +4,7 @@ use riscv_isa::instr::{BranchOp, CsrOp, Instr, LoadOp, Op32Op, OpImm32Op, OpImmO
 use riscv_isa::{csr, Reg};
 
 use crate::coproc::{Coprocessor, NoCoprocessor, RoccCommand, RoccResponse};
+use crate::snapshot::{CpuSnapshot, SnapshotError};
 use crate::{CpuError, Memory};
 
 /// Syscall numbers understood by the host interface (`a7` at `ecall`).
@@ -365,6 +366,63 @@ impl Cpu {
     /// Sets the program counter (e.g. to a program's entry point).
     pub fn set_pc(&mut self, pc: u64) {
         self.pc = pc;
+    }
+
+    /// Captures the complete architectural state — registers, pc,
+    /// counters, scratch CSRs, all mapped memory pages, console/marker/
+    /// trap logs, and (if the attached coprocessor supports it) the
+    /// accelerator state. Restoring the snapshot into a fresh core
+    /// continues the run bit-for-bit.
+    ///
+    /// The retirement observer is harness state, not machine state, and
+    /// is not part of the snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> CpuSnapshot {
+        CpuSnapshot {
+            regs: self.regs,
+            pc: self.pc,
+            cycle: self.cycle,
+            instret: self.instret,
+            rocc_watchdog: self.rocc_watchdog,
+            csrs: self.scratch_csrs.iter().map(|(&k, &v)| (k, v)).collect(),
+            pages: self.memory.dump_pages(),
+            console: self.console.clone(),
+            markers: self.markers.clone(),
+            trap_log: self.trap_log.clone(),
+            coproc: self.coprocessor.snapshot_state(),
+        }
+    }
+
+    /// Restores a previously captured snapshot, replacing all
+    /// architectural state (the attached coprocessor and the retirement
+    /// observer stay attached; the coprocessor is handed its own snapshot
+    /// state, or reset if the snapshot carries none).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if the snapshot's coprocessor state does
+    /// not belong to the attached coprocessor, or a memory page is
+    /// malformed. Validation happens before any state is overwritten
+    /// except the coprocessor's own restore.
+    pub fn restore(&mut self, snapshot: &CpuSnapshot) -> Result<(), SnapshotError> {
+        match &snapshot.coproc {
+            Some(coproc) => self.coprocessor.restore_state(coproc)?,
+            None => self.coprocessor.reset(),
+        }
+        self.memory
+            .restore_pages(&snapshot.pages)
+            .map_err(SnapshotError::Malformed)?;
+        self.regs = snapshot.regs;
+        self.regs[0] = 0;
+        self.pc = snapshot.pc;
+        self.cycle = snapshot.cycle;
+        self.instret = snapshot.instret;
+        self.rocc_watchdog = snapshot.rocc_watchdog;
+        self.scratch_csrs = snapshot.csrs.iter().copied().collect();
+        self.console = snapshot.console.clone();
+        self.markers = snapshot.markers.clone();
+        self.trap_log = snapshot.trap_log.clone();
+        Ok(())
     }
 
     /// Executes one instruction.

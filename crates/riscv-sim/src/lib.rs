@@ -23,6 +23,7 @@
 mod coproc;
 mod cpu;
 mod memory;
+pub mod snapshot;
 pub mod trace;
 
 use std::fmt;
@@ -33,6 +34,7 @@ pub use cpu::{
     RetirementRecord, TrapRecord, DEFAULT_ROCC_WATCHDOG,
 };
 pub use memory::Memory;
+pub use snapshot::{CoprocSnapshot, CpuSnapshot, SnapshotError, SNAPSHOT_VERSION};
 
 /// Faults and limits surfaced by the simulators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -155,6 +155,43 @@ impl Memory {
     pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, CpuError> {
         (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
     }
+
+    /// Dumps every mapped page as `(base address, page bytes)` in address
+    /// order — the snapshot view of memory.
+    #[must_use]
+    pub fn dump_pages(&self) -> Vec<(u64, Vec<u8>)> {
+        self.pages
+            .iter()
+            .map(|(&index, data)| (index << PAGE_SHIFT, data.to_vec()))
+            .collect()
+    }
+
+    /// Replaces the entire memory contents with previously dumped pages.
+    ///
+    /// Validates every page before mutating anything, so a malformed dump
+    /// leaves the memory untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if a page base is not page-aligned or a page
+    /// is not exactly one page long.
+    pub fn restore_pages(&mut self, pages: &[(u64, Vec<u8>)]) -> Result<(), &'static str> {
+        for (base, data) in pages {
+            if base & (PAGE_SIZE - 1) != 0 {
+                return Err("memory page base is not page-aligned");
+            }
+            if data.len() != PAGE_SIZE as usize {
+                return Err("memory page has the wrong size");
+            }
+        }
+        self.pages.clear();
+        for (base, data) in pages {
+            let mut page = Box::new([0u8; PAGE_SIZE as usize]);
+            page.copy_from_slice(data);
+            self.pages.insert(base >> PAGE_SHIFT, page);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -38,5 +38,5 @@
 mod cache;
 mod core;
 
-pub use crate::core::{RocketSim, RunReport, RunStats, TimingConfig};
-pub use cache::{Cache, CacheConfig, CacheStats};
+pub use crate::core::{RocketSim, RocketSnapshot, RunReport, RunStats, TimingConfig};
+pub use cache::{Cache, CacheConfig, CacheSnapshot, CacheStats};
